@@ -1,0 +1,101 @@
+//! Log-gamma and unit-ball volumes.
+//!
+//! The uniform model needs the volume of the d-dimensional unit ball,
+//! `V_d = π^{d/2} / Γ(d/2 + 1)`, for dimensionalities into the hundreds —
+//! computed in log space to avoid overflow. The Lanczos approximation (g =
+//! 7, 9 coefficients) gives ~15 significant digits, far beyond what the
+//! cost model needs.
+
+/// Natural log of the gamma function for `x > 0` (Lanczos, g = 7).
+///
+/// # Panics
+///
+/// Debug-asserts `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    debug_assert!(x > 0.0);
+    // Lanczos coefficients for g = 7, n = 9.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Natural log of the d-dimensional unit-ball volume.
+pub fn ln_unit_ball_volume(d: usize) -> f64 {
+    let dh = d as f64 / 2.0;
+    dh * std::f64::consts::PI.ln() - ln_gamma(dh + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let facts: [(f64, f64); 5] = [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (5.0, 24.0),
+            (10.0, 362_880.0),
+        ];
+        for (x, f) in facts {
+            assert!(
+                (ln_gamma(x) - f.ln()).abs() < 1e-10,
+                "ln_gamma({x}) = {}, expected {}",
+                ln_gamma(x),
+                f.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(pi).
+        let expect = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - expect).abs() < 1e-10);
+        // Γ(3/2) = sqrt(pi)/2.
+        let expect = (std::f64::consts::PI.sqrt() / 2.0).ln();
+        assert!((ln_gamma(1.5) - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ball_volumes_match_known_values() {
+        // V_1 = 2, V_2 = pi, V_3 = 4/3 pi.
+        assert!((ln_unit_ball_volume(1) - 2.0f64.ln()).abs() < 1e-10);
+        assert!((ln_unit_ball_volume(2) - std::f64::consts::PI.ln()).abs() < 1e-10);
+        let v3 = 4.0 / 3.0 * std::f64::consts::PI;
+        assert!((ln_unit_ball_volume(3) - v3.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn high_dimensional_ball_is_tiny() {
+        // V_60 = pi^30 / 30! ~ 3e-18: the curse of dimensionality in one
+        // number.
+        let v60 = ln_unit_ball_volume(60) / std::f64::consts::LN_10;
+        assert!((-18.0..-17.0).contains(&v60), "log10 V_60 = {v60}");
+        // And it keeps shrinking.
+        assert!(ln_unit_ball_volume(100) < ln_unit_ball_volume(60));
+    }
+}

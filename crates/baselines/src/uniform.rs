@@ -1,0 +1,148 @@
+//! The uniformity-assumption cost model (Berchtold et al. PODS'97 / Weber
+//! et al. VLDB'98 style).
+//!
+//! Assumptions, exactly the ones the paper identifies as fatal in high
+//! dimensions (§2.1, §5.3):
+//!
+//! 1. data is i.i.d. uniform in `[0, 1]^d`;
+//! 2. the page layout is produced by recursively splitting the data space
+//!    *in the middle*: with `P` leaf pages, `s = ⌈log2 P⌉` binary splits
+//!    are distributed over the first `s mod d`… dimensions, giving each
+//!    page extent `2^{-⌈s/d⌉}` or `2^{-⌊s/d⌋}` per dimension;
+//! 3. the k-NN sphere radius `r` solves `N · V_d · r^d = k` (the expected
+//!    number of uniform points in the ball equals `k`);
+//! 4. a page is accessed iff the query point falls in the Minkowski sum of
+//!    the page and the sphere, approximated per dimension by
+//!    `min(1, a_j + 2r)`.
+//!
+//! In 40+ dimensions `r` exceeds 1 and the model predicts that **every**
+//! page is accessed.
+
+use crate::gamma::ln_unit_ball_volume;
+use hdidx_core::{Error, Result};
+use hdidx_vamsplit::topology::Topology;
+
+/// Expected k-NN sphere radius for `n` uniform points in `[0,1]^d`:
+/// `r = (k / (n · V_d))^{1/d}` (unclamped — in high dimensions this
+/// exceeds 1, which *is* the model's message).
+///
+/// # Errors
+///
+/// Rejects `n == 0`, `k == 0` and `d == 0`.
+pub fn expected_knn_radius(n: usize, k: usize, d: usize) -> Result<f64> {
+    if n == 0 || k == 0 || d == 0 {
+        return Err(Error::invalid("n/k/d", "must all be positive"));
+    }
+    let ln_r = ((k as f64).ln() - (n as f64).ln() - ln_unit_ball_volume(d)) / d as f64;
+    Ok(ln_r.exp())
+}
+
+/// Per-dimension extents of the model's pages: `s = ⌈log2 P⌉` mid-splits
+/// spread round-robin over the dimensions.
+pub fn page_extents(leaf_pages: u64, d: usize) -> Vec<f64> {
+    let s = (leaf_pages as f64).log2().ceil().max(0.0) as usize;
+    let deep = s / d; // every dimension split this often
+    let extra = s % d; // the first `extra` dimensions once more
+    (0..d)
+        .map(|j| {
+            let splits = deep + usize::from(j < extra);
+            0.5f64.powi(splits as i32)
+        })
+        .collect()
+}
+
+/// Predicted average page accesses for `k`-NN queries under the uniform
+/// model. Deterministic and workload-independent: the model derives its own
+/// expected radius.
+///
+/// # Errors
+///
+/// Propagates radius-domain errors.
+pub fn predict_uniform(topo: &Topology, k: usize) -> Result<f64> {
+    let d = topo.dim();
+    let pages = topo.leaf_pages();
+    let r = expected_knn_radius(topo.n(), k, d)?;
+    let extents = page_extents(pages, d);
+    // Minkowski-sum access probability, clamped per dimension by the data
+    // space bounds.
+    let ln_prob: f64 = extents
+        .iter()
+        .map(|&a| (a + 2.0 * r).min(1.0).ln())
+        .sum();
+    Ok(pages as f64 * ln_prob.exp())
+}
+
+/// Number of dimensions the mid-split layout actually splits (the paper
+/// quotes "13 split dimensions" for TEXTURE60).
+pub fn split_dimensions(leaf_pages: u64, d: usize) -> usize {
+    let s = (leaf_pages as f64).log2().ceil().max(0.0) as usize;
+    s.min(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_grows_with_dimension() {
+        let r2 = expected_knn_radius(100_000, 21, 2).unwrap();
+        let r20 = expected_knn_radius(100_000, 21, 20).unwrap();
+        let r60 = expected_knn_radius(100_000, 21, 60).unwrap();
+        assert!(r2 < r20 && r20 < r60);
+        assert!(r2 < 0.05, "2-d radius {r2}");
+        assert!(r60 > 1.0, "60-d radius {r60} should blow past the cube");
+    }
+
+    #[test]
+    fn radius_matches_hand_computation_2d() {
+        // 2-d: r = sqrt(k / (n * pi)).
+        let r = expected_knn_radius(10_000, 10, 2).unwrap();
+        let expect = (10.0 / (10_000.0 * std::f64::consts::PI)).sqrt();
+        assert!((r - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn page_extents_round_robin() {
+        // 8 pages in 2-d: 3 splits -> dim0 twice (1/4), dim1 once (1/2).
+        let e = page_extents(8, 2);
+        assert_eq!(e, vec![0.25, 0.5]);
+        // 8641 pages in 60-d: 14 split dims (ceil log2 = 14).
+        let e = page_extents(8641, 60);
+        assert_eq!(e.iter().filter(|&&x| x == 0.5).count(), 14);
+        assert_eq!(e.iter().filter(|&&x| x == 1.0).count(), 46);
+        assert_eq!(split_dimensions(8641, 60), 14);
+    }
+
+    #[test]
+    fn high_dimensional_prediction_is_all_pages() {
+        // The paper's Table 4 headline: on TEXTURE60-like parameters the
+        // uniform model predicts that every leaf page is accessed.
+        let topo = Topology::from_capacities(60, 275_465, 33, 16).unwrap();
+        let p = predict_uniform(&topo, 21).unwrap();
+        assert!(
+            (p - topo.leaf_pages() as f64).abs() < 1e-6,
+            "predicted {p} of {} pages",
+            topo.leaf_pages()
+        );
+    }
+
+    #[test]
+    fn low_dimensional_prediction_is_partial() {
+        // In 2 dimensions the same model predicts a small fraction.
+        let topo = Topology::from_capacities(2, 100_000, 100, 50).unwrap();
+        let p = predict_uniform(&topo, 21).unwrap();
+        assert!(p > 0.9, "at least the page containing the query: {p}");
+        assert!(
+            p < 0.2 * topo.leaf_pages() as f64,
+            "predicted {p} of {}",
+            topo.leaf_pages()
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(expected_knn_radius(0, 1, 2).is_err());
+        assert!(expected_knn_radius(10, 0, 2).is_err());
+        assert!(expected_knn_radius(10, 1, 0).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Minimal command-line handling shared by the experiment binaries.
+
+/// Common experiment options parsed from `std::env::args`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpArgs {
+    /// Dataset cardinality scale in `(0, 1]`; 1.0 = the paper's sizes.
+    pub scale: f64,
+    /// Number of queries (paper: 500).
+    pub queries: usize,
+    /// Neighbor count (paper: 21).
+    pub k: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ExpArgs {
+    /// Parses `--scale F`, `--full`, `--queries N`, `--k N`, `--seed N`
+    /// from the process arguments, starting from the given defaults.
+    pub fn parse(default_scale: f64, default_queries: usize) -> ExpArgs {
+        let mut out = ExpArgs {
+            scale: default_scale,
+            queries: default_queries,
+            k: 21,
+            seed: 20010521, // SIGMOD 2001, May 21
+        };
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--full" => out.scale = 1.0,
+                "--scale" => {
+                    out.scale = next_f64(&argv, &mut i, "--scale");
+                }
+                "--queries" => {
+                    out.queries = next_f64(&argv, &mut i, "--queries") as usize;
+                }
+                "--k" => {
+                    out.k = next_f64(&argv, &mut i, "--k") as usize;
+                }
+                "--seed" => {
+                    out.seed = next_f64(&argv, &mut i, "--seed") as u64;
+                }
+                other => {
+                    eprintln!("warning: ignoring unknown argument `{other}`");
+                }
+            }
+            i += 1;
+        }
+        assert!(
+            out.scale > 0.0 && out.scale <= 1.0,
+            "--scale must lie in (0, 1]"
+        );
+        out
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "scale={} queries={} k={} seed={}",
+            self.scale, self.queries, self.k, self.seed
+        )
+    }
+
+    /// Prints the standard experiment header.
+    pub fn banner(&self, title: &str) {
+        println!("=== {title} ===");
+        println!("[{}]", self.describe());
+    }
+}
+
+fn next_f64(argv: &[String], i: &mut usize, flag: &str) -> f64 {
+    *i += 1;
+    argv.get(*i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("{flag} requires a numeric argument"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_apply() {
+        let a = ExpArgs::parse(0.25, 100);
+        assert_eq!(a.scale, 0.25);
+        assert_eq!(a.queries, 100);
+        assert_eq!(a.k, 21);
+    }
+}

@@ -1,0 +1,78 @@
+//! Runs the whole experiment suite (every table and figure of the paper)
+//! by spawning the sibling binaries with shared arguments. Intended entry
+//! point for regenerating `EXPERIMENTS.md` numbers:
+//!
+//! ```text
+//! cargo run --release -p hdidx-bench --bin all_experiments            # default scales
+//! cargo run --release -p hdidx-bench --bin all_experiments -- --full  # paper scale
+//! ```
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig02_sample_size",
+    "fig09_cost_vs_memory",
+    "fig10_cost_vs_dim",
+    "table3_texture60",
+    "fig11_12_correlation",
+    "uniform8d_sanity",
+    "table4_model_comparison",
+    "fig13_page_size",
+    "fig14_dimensionality",
+    "range_queries",
+    "ablation_compensation",
+    "ablation_structures",
+    "ablation_query_distribution",
+    "vafile_contrast",
+    "resampled_all_datasets",
+];
+
+/// Binaries whose dataset size must not be scaled down: the §5.2 uniform
+/// check needs the paper's 100,000 points (its error bound is an absolute
+/// claim), and the analytic figures take no data at all.
+const UNSCALED: &[&str] = &["uniform8d_sanity", "fig09_cost_vs_memory", "fig10_cost_vs_dim"];
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let self_path = std::env::current_exe().expect("current_exe");
+    let dir = self_path.parent().expect("binary directory");
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        println!("\n################ {bin} ################\n");
+        let args: Vec<String> = if UNSCALED.contains(bin) {
+            let mut out = Vec::new();
+            let mut skip_next = false;
+            for a in &forwarded {
+                if skip_next {
+                    skip_next = false;
+                    continue;
+                }
+                if a == "--scale" {
+                    skip_next = true;
+                    continue;
+                }
+                if a == "--full" {
+                    continue;
+                }
+                out.push(a.clone());
+            }
+            out
+        } else {
+            forwarded.clone()
+        };
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            failures.push(*bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nFAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,17 @@
+//! # hdidx-bench
+//!
+//! Experiment harness: shared plumbing for the per-table/per-figure
+//! binaries that regenerate the paper's evaluation (see `DESIGN.md` §4 for
+//! the experiment index), plus the Criterion micro-benchmarks.
+//!
+//! Every binary accepts `--scale <fraction>` to shrink dataset
+//! cardinalities for quick runs; the default scales are chosen so the whole
+//! suite completes in minutes while preserving every qualitative result.
+//! `--full` runs the paper's exact cardinalities.
+
+pub mod args;
+pub mod context;
+pub mod table;
+
+pub use args::ExpArgs;
+pub use context::ExperimentContext;

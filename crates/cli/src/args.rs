@@ -1,0 +1,371 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+/// Which prediction method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// §4.4 resampled index tree (default; most accurate).
+    Resampled,
+    /// §4.3 cutoff index tree (cheapest).
+    Cutoff,
+    /// §3 basic mini-index (unrestricted memory).
+    Basic,
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Subcommand.
+    pub command: Command,
+}
+
+/// The subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print dataset and topology information.
+    Info {
+        /// CSV path.
+        data: String,
+        /// Page size in bytes.
+        page_bytes: usize,
+    },
+    /// Predict page accesses without building the index.
+    Predict {
+        /// CSV path.
+        data: String,
+        /// Page size in bytes.
+        page_bytes: usize,
+        /// Memory budget in points.
+        m: usize,
+        /// Method.
+        method: Method,
+        /// Number of queries.
+        queries: usize,
+        /// Neighbor count.
+        k: usize,
+        /// Explicit upper-tree height (None = recommended).
+        h_upper: Option<usize>,
+        /// Sampling fraction for the basic method (None = M/N).
+        zeta: Option<f64>,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Run every predictor plus the measured ground truth in one report.
+    Compare {
+        /// CSV path.
+        data: String,
+        /// Page size in bytes.
+        page_bytes: usize,
+        /// Memory budget in points.
+        m: usize,
+        /// Number of queries.
+        queries: usize,
+        /// Neighbor count.
+        k: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Build the index (simulated on-disk) and measure ground truth.
+    Measure {
+        /// CSV path.
+        data: String,
+        /// Page size in bytes.
+        page_bytes: usize,
+        /// Memory budget in points.
+        m: usize,
+        /// Number of queries.
+        queries: usize,
+        /// Neighbor count.
+        k: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Generate a named dataset analog as CSV.
+    Generate {
+        /// Analog name (color64, texture48, texture60, isolet617,
+        /// stock360, uniform8d).
+        dataset: String,
+        /// Cardinality scale in (0, 1].
+        scale: f64,
+        /// Output CSV path.
+        out: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+hdidx — sampling-based index cost prediction (Lang & Singh, SIGMOD 2001)
+
+USAGE:
+  hdidx info     --data <csv> [--page-bytes 8192]
+  hdidx predict  --data <csv> --m <points> [--method resampled|cutoff|basic]
+                 [--queries 500] [--k 21] [--h-upper N] [--zeta F]
+                 [--page-bytes 8192] [--seed 42]
+  hdidx measure  --data <csv> --m <points> [--queries 500] [--k 21]
+                 [--page-bytes 8192] [--seed 42]
+  hdidx compare  --data <csv> --m <points> [--queries 500] [--k 21]
+                 [--page-bytes 8192] [--seed 42]
+  hdidx generate --dataset <name> [--scale 1.0] --out <csv>
+";
+
+struct Opts {
+    pairs: Vec<(String, String)>,
+}
+
+impl Opts {
+    fn parse(rest: &[String]) -> Result<Opts, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let key = rest[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected an option, got `{}`", rest[i]))?;
+            let value = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("option --{key} requires a value"))?;
+            pairs.push((key.to_string(), value.clone()));
+            i += 2;
+        }
+        Ok(Opts { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn required(&self, key: &str) -> Result<String, String> {
+        self.get(key)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key}: cannot parse `{v}`")),
+        }
+    }
+
+    fn parse_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("option --{key}: cannot parse `{v}`")),
+        }
+    }
+
+    fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.pairs {
+            if !known.contains(&k.as_str()) {
+                return Err(format!("unknown option --{k}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Cli {
+    /// Parses `argv` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage-style message for unknown commands/options or
+    /// malformed values.
+    pub fn parse(argv: &[String]) -> Result<Cli, String> {
+        let Some(cmd) = argv.first() else {
+            return Ok(Cli {
+                command: Command::Help,
+            });
+        };
+        let opts = Opts::parse(&argv[1..])?;
+        let command = match cmd.as_str() {
+            "help" | "--help" | "-h" => Command::Help,
+            "info" => {
+                opts.reject_unknown(&["data", "page-bytes"])?;
+                Command::Info {
+                    data: opts.required("data")?,
+                    page_bytes: opts.parse_or("page-bytes", 8192usize)?,
+                }
+            }
+            "predict" => {
+                opts.reject_unknown(&[
+                    "data",
+                    "page-bytes",
+                    "m",
+                    "method",
+                    "queries",
+                    "k",
+                    "h-upper",
+                    "zeta",
+                    "seed",
+                ])?;
+                let method = match opts.get("method").unwrap_or("resampled") {
+                    "resampled" => Method::Resampled,
+                    "cutoff" => Method::Cutoff,
+                    "basic" => Method::Basic,
+                    other => return Err(format!("unknown method `{other}`")),
+                };
+                Command::Predict {
+                    data: opts.required("data")?,
+                    page_bytes: opts.parse_or("page-bytes", 8192usize)?,
+                    m: opts
+                        .parse_opt("m")?
+                        .ok_or("missing required option --m".to_string())?,
+                    method,
+                    queries: opts.parse_or("queries", 500usize)?,
+                    k: opts.parse_or("k", 21usize)?,
+                    h_upper: opts.parse_opt("h-upper")?,
+                    zeta: opts.parse_opt("zeta")?,
+                    seed: opts.parse_or("seed", 42u64)?,
+                }
+            }
+            "compare" => {
+                opts.reject_unknown(&["data", "page-bytes", "m", "queries", "k", "seed"])?;
+                Command::Compare {
+                    data: opts.required("data")?,
+                    page_bytes: opts.parse_or("page-bytes", 8192usize)?,
+                    m: opts
+                        .parse_opt("m")?
+                        .ok_or("missing required option --m".to_string())?,
+                    queries: opts.parse_or("queries", 500usize)?,
+                    k: opts.parse_or("k", 21usize)?,
+                    seed: opts.parse_or("seed", 42u64)?,
+                }
+            }
+            "measure" => {
+                opts.reject_unknown(&["data", "page-bytes", "m", "queries", "k", "seed"])?;
+                Command::Measure {
+                    data: opts.required("data")?,
+                    page_bytes: opts.parse_or("page-bytes", 8192usize)?,
+                    m: opts
+                        .parse_opt("m")?
+                        .ok_or("missing required option --m".to_string())?,
+                    queries: opts.parse_or("queries", 500usize)?,
+                    k: opts.parse_or("k", 21usize)?,
+                    seed: opts.parse_or("seed", 42u64)?,
+                }
+            }
+            "generate" => {
+                opts.reject_unknown(&["dataset", "scale", "out"])?;
+                Command::Generate {
+                    dataset: opts.required("dataset")?,
+                    scale: opts.parse_or("scale", 1.0f64)?,
+                    out: opts.required("out")?,
+                }
+            }
+            other => return Err(format!("unknown command `{other}`\n{USAGE}")),
+        };
+        Ok(Cli { command })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_predict_with_defaults() {
+        let cli = Cli::parse(&argv("predict --data a.csv --m 1000")).unwrap();
+        match cli.command {
+            Command::Predict {
+                data,
+                page_bytes,
+                m,
+                method,
+                queries,
+                k,
+                h_upper,
+                zeta,
+                seed,
+            } => {
+                assert_eq!(data, "a.csv");
+                assert_eq!(page_bytes, 8192);
+                assert_eq!(m, 1000);
+                assert_eq!(method, Method::Resampled);
+                assert_eq!(queries, 500);
+                assert_eq!(k, 21);
+                assert_eq!(h_upper, None);
+                assert_eq!(zeta, None);
+                assert_eq!(seed, 42);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_overrides() {
+        let cli = Cli::parse(&argv(
+            "predict --data a.csv --m 500 --method basic --zeta 0.3 --queries 10 --k 5 --seed 7",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Predict {
+                method,
+                zeta,
+                queries,
+                k,
+                seed,
+                ..
+            } => {
+                assert_eq!(method, Method::Basic);
+                assert_eq!(zeta, Some(0.3));
+                assert_eq!(queries, 10);
+                assert_eq!(k, 5);
+                assert_eq!(seed, 7);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Cli::parse(&argv("predict --data a.csv")).is_err()); // no --m
+        assert!(Cli::parse(&argv("predict --m 10")).is_err()); // no --data
+        assert!(Cli::parse(&argv("predict --data a.csv --m ten")).is_err());
+        assert!(Cli::parse(&argv("predict --data a.csv --m 10 --method x")).is_err());
+        assert!(Cli::parse(&argv("predict --data a.csv --m 10 --bogus 1")).is_err());
+        assert!(Cli::parse(&argv("frobnicate")).is_err());
+        assert!(Cli::parse(&argv("info --data a.csv extra")).is_err());
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(Cli::parse(&[]).unwrap().command, Command::Help);
+        assert_eq!(Cli::parse(&argv("help")).unwrap().command, Command::Help);
+        assert_eq!(Cli::parse(&argv("--help")).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn parses_generate_and_measure() {
+        let cli = Cli::parse(&argv("generate --dataset texture60 --scale 0.1 --out o.csv"))
+            .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Generate {
+                dataset: "texture60".into(),
+                scale: 0.1,
+                out: "o.csv".into()
+            }
+        );
+        let cli = Cli::parse(&argv("measure --data d.csv --m 100")).unwrap();
+        match cli.command {
+            Command::Measure { m, queries, .. } => {
+                assert_eq!(m, 100);
+                assert_eq!(queries, 500);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+}

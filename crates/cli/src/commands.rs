@@ -1,0 +1,442 @@
+//! Command implementations, returning their report as a `String` so they
+//! are testable without capturing stdout.
+
+use crate::args::{Cli, Command, Method};
+use crate::csvio;
+use hdidx_core::Dataset;
+use hdidx_datagen::registry::NamedDataset;
+use hdidx_datagen::workload::Workload;
+use hdidx_diskio::external::ExternalConfig;
+use hdidx_diskio::measure::measure_on_disk;
+use hdidx_diskio::DiskModel;
+use hdidx_model::{
+    hupper, predict_basic, predict_cutoff, predict_resampled, BasicParams, CutoffParams,
+    Prediction, QueryBall, ResampledParams,
+};
+use hdidx_vamsplit::topology::{PageConfig, Topology};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Executes a parsed invocation.
+///
+/// # Errors
+///
+/// Human-readable message for any failure.
+pub fn execute(cli: &Cli) -> Result<String, String> {
+    match &cli.command {
+        Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Info { data, page_bytes } => info(Path::new(data), *page_bytes),
+        Command::Generate {
+            dataset,
+            scale,
+            out,
+        } => generate(dataset, *scale, Path::new(out)),
+        Command::Predict {
+            data,
+            page_bytes,
+            m,
+            method,
+            queries,
+            k,
+            h_upper,
+            zeta,
+            seed,
+        } => predict(
+            Path::new(data),
+            *page_bytes,
+            *m,
+            *method,
+            *queries,
+            *k,
+            *h_upper,
+            *zeta,
+            *seed,
+        ),
+        Command::Measure {
+            data,
+            page_bytes,
+            m,
+            queries,
+            k,
+            seed,
+        } => measure(Path::new(data), *page_bytes, *m, *queries, *k, *seed),
+        Command::Compare {
+            data,
+            page_bytes,
+            m,
+            queries,
+            k,
+            seed,
+        } => compare(Path::new(data), *page_bytes, *m, *queries, *k, *seed),
+    }
+}
+
+fn load(data: &Path, page_bytes: usize) -> Result<(Dataset, Topology), String> {
+    let dataset = csvio::read_csv(data)?;
+    let topo = Topology::new(
+        dataset.dim(),
+        dataset.len(),
+        &PageConfig::with_page_bytes(page_bytes),
+    )
+    .map_err(|e| e.to_string())?;
+    Ok((dataset, topo))
+}
+
+fn info(data: &Path, page_bytes: usize) -> Result<String, String> {
+    let (dataset, topo) = load(data, page_bytes)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "dataset: {} points x {} dims", dataset.len(), dataset.dim());
+    let _ = writeln!(out, "page size: {page_bytes} bytes");
+    let _ = writeln!(
+        out,
+        "capacities: {} points/data page, {} entries/directory page",
+        topo.cap_data(),
+        topo.cap_dir()
+    );
+    let _ = writeln!(out, "tree height: {}", topo.height());
+    let _ = writeln!(out, "leaf pages: {}", topo.leaf_pages());
+    let _ = writeln!(out, "total pages: {}", topo.total_pages());
+    for h in 2..topo.height() {
+        let _ = writeln!(
+            out,
+            "h_upper = {h}: k = {} upper leaves, lower-tree capacity {}",
+            topo.upper_leaf_count(h),
+            topo.subtree_capacity(topo.upper_leaf_level(h)) as u64
+        );
+    }
+    Ok(out)
+}
+
+fn generate(dataset: &str, scale: f64, out: &Path) -> Result<String, String> {
+    let named = match dataset.to_ascii_lowercase().as_str() {
+        "color64" => NamedDataset::Color64,
+        "texture48" => NamedDataset::Texture48,
+        "texture60" => NamedDataset::Texture60,
+        "isolet617" => NamedDataset::Isolet617,
+        "stock360" => NamedDataset::Stock360,
+        "uniform8d" => NamedDataset::Uniform8d,
+        other => {
+            return Err(format!(
+                "unknown dataset `{other}` (expected color64, texture48, texture60, \
+                 isolet617, stock360 or uniform8d)"
+            ))
+        }
+    };
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err("--scale must lie in (0, 1]".to_string());
+    }
+    let data = named
+        .spec_scaled(scale)
+        .generate()
+        .map_err(|e| e.to_string())?;
+    csvio::write_csv(out, &data)?;
+    Ok(format!(
+        "wrote {} ({} x {}) to {}\n",
+        named.name(),
+        data.len(),
+        data.dim(),
+        out.display()
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn predict(
+    data: &Path,
+    page_bytes: usize,
+    m: usize,
+    method: Method,
+    queries: usize,
+    k: usize,
+    h_upper: Option<usize>,
+    zeta: Option<f64>,
+    seed: u64,
+) -> Result<String, String> {
+    let (dataset, topo) = load(data, page_bytes)?;
+    let workload =
+        Workload::density_biased(&dataset, queries, k, seed).map_err(|e| e.to_string())?;
+    let balls: Vec<QueryBall> = workload
+        .queries
+        .iter()
+        .map(|q| QueryBall::new(q.center.clone(), q.radius))
+        .collect();
+    let disk = DiskModel::paper_with_page_bytes(page_bytes);
+    let mut out = String::new();
+    let (label, prediction): (String, Prediction) = match method {
+        Method::Basic => {
+            let z = zeta.unwrap_or((m as f64 / dataset.len() as f64).min(1.0));
+            let p = predict_basic(
+                &dataset,
+                &topo,
+                &balls,
+                &BasicParams {
+                    zeta: z,
+                    compensate: true,
+                    seed,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            (format!("basic (zeta = {z:.4})"), p)
+        }
+        Method::Cutoff => {
+            let h = match h_upper {
+                Some(h) => h,
+                None => hupper::recommended_h_upper(&topo, m).map_err(|e| e.to_string())?,
+            };
+            let p = predict_cutoff(&dataset, &topo, &balls, &CutoffParams { m, h_upper: h, seed })
+                .map_err(|e| e.to_string())?;
+            (format!("cutoff (h_upper = {h})"), p.prediction)
+        }
+        Method::Resampled => {
+            let h = match h_upper {
+                Some(h) => h,
+                None => hupper::recommended_h_upper(&topo, m).map_err(|e| e.to_string())?,
+            };
+            let p = predict_resampled(
+                &dataset,
+                &topo,
+                &balls,
+                &ResampledParams { m, h_upper: h, seed },
+            )
+            .map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "sigma_upper = {:.4}, sigma_lower = {:.4}, k = {}",
+                p.sigma_upper, p.sigma_lower, p.k
+            );
+            (format!("resampled (h_upper = {h})"), p.prediction)
+        }
+    };
+    let _ = writeln!(out, "method: {label}");
+    let _ = writeln!(
+        out,
+        "predicted leaf accesses per {k}-NN query: {:.1} (of {} pages)",
+        prediction.avg_leaf_accesses(),
+        topo.leaf_pages()
+    );
+    let _ = writeln!(
+        out,
+        "prediction I/O: {} seeks + {} transfers = {:.3} s under the paper's disk model",
+        prediction.io.seeks,
+        prediction.io.transfers,
+        disk.cost_seconds(prediction.io)
+    );
+    Ok(out)
+}
+
+fn measure(
+    data: &Path,
+    page_bytes: usize,
+    m: usize,
+    queries: usize,
+    k: usize,
+    seed: u64,
+) -> Result<String, String> {
+    let (dataset, topo) = load(data, page_bytes)?;
+    let workload =
+        Workload::density_biased(&dataset, queries, k, seed).map_err(|e| e.to_string())?;
+    let centers: Vec<Vec<f32>> = workload.queries.iter().map(|q| q.center.clone()).collect();
+    let measured = measure_on_disk(
+        &dataset,
+        &topo,
+        &centers,
+        k,
+        &ExternalConfig::with_mem_points(m),
+    )
+    .map_err(|e| e.to_string())?;
+    let disk = DiskModel::paper_with_page_bytes(page_bytes);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "measured leaf accesses per {k}-NN query: {:.1} (of {} pages)",
+        measured.avg_leaf_accesses(),
+        topo.leaf_pages()
+    );
+    let _ = writeln!(
+        out,
+        "build I/O:  {} seeks + {} transfers",
+        measured.build_io.seeks, measured.build_io.transfers
+    );
+    let _ = writeln!(
+        out,
+        "query I/O:  {} seeks + {} transfers",
+        measured.query_io.seeks, measured.query_io.transfers
+    );
+    let _ = writeln!(
+        out,
+        "total: {:.3} s under the paper's disk model",
+        disk.cost_seconds(measured.total_io())
+    );
+    Ok(out)
+}
+
+fn compare(
+    data: &Path,
+    page_bytes: usize,
+    m: usize,
+    queries: usize,
+    k: usize,
+    seed: u64,
+) -> Result<String, String> {
+    let (dataset, topo) = load(data, page_bytes)?;
+    let workload =
+        Workload::density_biased(&dataset, queries, k, seed).map_err(|e| e.to_string())?;
+    let balls: Vec<QueryBall> = workload
+        .queries
+        .iter()
+        .map(|q| QueryBall::new(q.center.clone(), q.radius))
+        .collect();
+    let centers: Vec<Vec<f32>> = workload.queries.iter().map(|q| q.center.clone()).collect();
+    let measured = measure_on_disk(
+        &dataset,
+        &topo,
+        &centers,
+        k,
+        &ExternalConfig::with_mem_points(m),
+    )
+    .map_err(|e| e.to_string())?;
+    let truth = measured.avg_leaf_accesses();
+    let disk = DiskModel::paper_with_page_bytes(page_bytes);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "measured (on-disk build + probe): {truth:.1} leaf accesses/query, \
+         {:.3} s total I/O",
+        disk.cost_seconds(measured.total_io())
+    );
+    let mut line = |name: &str, result: Result<Prediction, String>| match result {
+        Ok(p) => {
+            let _ = writeln!(
+                out,
+                "  {name:<22} {:>8.1} acc/query  {:>+7.1}% error  {:>9.3} s I/O",
+                p.avg_leaf_accesses(),
+                100.0 * p.relative_error(truth),
+                disk.cost_seconds(p.io)
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "  {name:<22} n/a ({e})");
+        }
+    };
+    let zeta = (m as f64 / dataset.len() as f64).min(1.0);
+    line(
+        "basic",
+        predict_basic(
+            &dataset,
+            &topo,
+            &balls,
+            &BasicParams {
+                zeta,
+                compensate: true,
+                seed,
+            },
+        )
+        .map_err(|e| e.to_string()),
+    );
+    let h = hupper::recommended_h_upper(&topo, m).map_err(|e| e.to_string());
+    match h {
+        Ok(h) => {
+            line(
+                &format!("cutoff (h={h})"),
+                predict_cutoff(&dataset, &topo, &balls, &CutoffParams { m, h_upper: h, seed })
+                    .map(|p| p.prediction)
+                    .map_err(|e| e.to_string()),
+            );
+            line(
+                &format!("resampled (h={h})"),
+                predict_resampled(
+                    &dataset,
+                    &topo,
+                    &balls,
+                    &ResampledParams { m, h_upper: h, seed },
+                )
+                .map(|p| p.prediction)
+                .map_err(|e| e.to_string()),
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "  phase predictors n/a ({e})");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    
+
+    fn run(cmdline: &str) -> Result<String, String> {
+        let argv: Vec<String> = cmdline.split_whitespace().map(str::to_string).collect();
+        crate::run(&argv)
+    }
+
+    fn temp_csv(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("hdidx_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn generate_info_predict_measure_pipeline() {
+        let csv = temp_csv("t48.csv");
+        let out = run(&format!(
+            "generate --dataset texture48 --scale 0.2 --out {}",
+            csv.display()
+        ))
+        .unwrap();
+        assert!(out.contains("TEXTURE48"), "{out}");
+
+        let out = run(&format!("info --data {}", csv.display())).unwrap();
+        assert!(out.contains("tree height"), "{out}");
+        assert!(out.contains("leaf pages"), "{out}");
+
+        let out = run(&format!(
+            "predict --data {} --m 200 --queries 10 --k 5 --seed 1",
+            csv.display()
+        ))
+        .unwrap();
+        assert!(out.contains("resampled"), "{out}");
+        assert!(out.contains("predicted leaf accesses"), "{out}");
+
+        let out = run(&format!(
+            "predict --data {} --m 200 --method basic --zeta 0.5 --queries 10 --k 5",
+            csv.display()
+        ))
+        .unwrap();
+        assert!(out.contains("basic (zeta = 0.5000)"), "{out}");
+
+        let out = run(&format!(
+            "measure --data {} --m 200 --queries 10 --k 5",
+            csv.display()
+        ))
+        .unwrap();
+        assert!(out.contains("measured leaf accesses"), "{out}");
+
+        let out = run(&format!(
+            "compare --data {} --m 200 --queries 10 --k 5",
+            csv.display()
+        ))
+        .unwrap();
+        assert!(out.contains("basic"), "{out}");
+        assert!(out.contains("resampled"), "{out}");
+        assert!(out.contains("% error"), "{out}");
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(run("help").unwrap().contains("USAGE"));
+        assert!(run("generate --dataset bogus --out /tmp/x.csv")
+            .unwrap_err()
+            .contains("unknown dataset"));
+        assert!(run("predict --data /nonexistent.csv --m 10")
+            .unwrap_err()
+            .contains("cannot open"));
+        let csv = temp_csv("scale.csv");
+        assert!(run(&format!(
+            "generate --dataset uniform8d --scale 2.0 --out {}",
+            csv.display()
+        ))
+        .unwrap_err()
+        .contains("--scale"));
+    }
+}

@@ -1,0 +1,146 @@
+//! CSV dataset I/O: one point per line, comma-separated coordinates.
+//! Blank lines and `#` comment lines are skipped. A header line is
+//! detected (first line whose first field does not parse as a number) and
+//! ignored.
+
+use hdidx_core::Dataset;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Reads a dataset from a CSV file.
+///
+/// # Errors
+///
+/// Returns a message for I/O failures, ragged rows, non-numeric fields or
+/// an empty file.
+pub fn read_csv(path: &Path) -> Result<Dataset, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    parse_csv(reader)
+}
+
+/// Parses CSV content from any reader (unit-test seam).
+///
+/// # Errors
+///
+/// Same conditions as [`read_csv`].
+pub fn parse_csv<R: BufRead>(reader: R) -> Result<Dataset, String> {
+    let mut dim = 0usize;
+    let mut data: Vec<f32> = Vec::new();
+    let mut row = 0usize;
+    let mut header_allowed = true;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("read error at line {}: {e}", lineno + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if header_allowed && fields[0].parse::<f32>().is_err() {
+            // Header line: skip once.
+            header_allowed = false;
+            continue;
+        }
+        header_allowed = false;
+        if dim == 0 {
+            dim = fields.len();
+        } else if fields.len() != dim {
+            return Err(format!(
+                "line {}: expected {dim} fields, found {}",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        for f in &fields {
+            let v: f32 = f
+                .parse()
+                .map_err(|_| format!("line {}: cannot parse `{f}` as a number", lineno + 1))?;
+            if !v.is_finite() {
+                return Err(format!("line {}: non-finite value `{f}`", lineno + 1));
+            }
+            data.push(v);
+        }
+        row += 1;
+    }
+    if row == 0 {
+        return Err("no data rows found".to_string());
+    }
+    Dataset::from_flat(dim, data).map_err(|e| e.to_string())
+}
+
+/// Writes a dataset as CSV.
+///
+/// # Errors
+///
+/// Returns a message on I/O failure.
+pub fn write_csv(path: &Path, data: &Dataset) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    let mut line = String::new();
+    for i in 0..data.len() {
+        line.clear();
+        for (j, x) in data.point(i).iter().enumerate() {
+            if j > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{x}"));
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())
+            .map_err(|e| format!("write error: {e}"))?;
+    }
+    w.flush().map_err(|e| format!("write error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Dataset, String> {
+        parse_csv(std::io::Cursor::new(s.to_string()))
+    }
+
+    #[test]
+    fn parses_plain_csv() {
+        let d = parse("1.0,2.0\n3.5,-4.25\n").unwrap();
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.point(1), &[3.5, -4.25]);
+    }
+
+    #[test]
+    fn skips_header_comments_and_blanks() {
+        let d = parse("# comment\nx,y\n\n1,2\n# another\n3,4\n").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.point(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn rejects_ragged_and_bad_rows() {
+        assert!(parse("1,2\n3\n").is_err());
+        assert!(parse("1,abc\n").is_err());
+        assert!(parse("1,inf\n").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("# only comments\n").is_err());
+        // Two consecutive non-numeric lines: only one header allowed.
+        assert!(parse("x,y\na,b\n1,2\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let data = Dataset::from_flat(3, vec![1.0, 2.5, -3.0, 0.125, 4.0, 5.5]).unwrap();
+        let dir = std::env::temp_dir().join("hdidx_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        write_csv(&path, &data).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back, data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = read_csv(Path::new("/nonexistent/nope.csv")).unwrap_err();
+        assert!(err.contains("cannot open"), "{err}");
+    }
+}

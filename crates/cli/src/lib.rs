@@ -1,0 +1,30 @@
+//! # hdidx-cli
+//!
+//! Library backing the `hdidx` command-line tool: CSV dataset I/O, argument
+//! parsing and the command implementations. Kept as a library so the logic
+//! is unit-testable; `main.rs` is a thin shell.
+//!
+//! ```text
+//! hdidx info    --data points.csv [--page-bytes 8192]
+//! hdidx predict --data points.csv --m 10000 [--method resampled|cutoff|basic]
+//!               [--queries 500] [--k 21] [--h-upper N] [--zeta F] [--seed S]
+//! hdidx measure --data points.csv --m 10000 [--queries 500] [--k 21]
+//! hdidx generate --dataset texture60 --scale 0.1 --out points.csv
+//! ```
+
+pub mod args;
+pub mod commands;
+pub mod csvio;
+
+pub use args::{Cli, Command};
+
+/// Entry point shared by the binary and the tests.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any failure (parse error, I/O
+/// error, infeasible parameters).
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let cli = args::Cli::parse(argv)?;
+    commands::execute(&cli)
+}

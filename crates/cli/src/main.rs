@@ -1,0 +1,12 @@
+//! `hdidx` — sampling-based index cost prediction from the command line.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match hdidx_cli::run(&argv) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

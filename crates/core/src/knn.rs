@@ -1,0 +1,133 @@
+//! Exact k-nearest-neighbor scan over a [`Dataset`].
+//!
+//! Ground truth for query radii: the paper computes the k-NN sphere of each
+//! query point with a full scan of the dataset (§4.2) and feeds the radius
+//! to every predictor. Index-based k-NN lives in `hdidx-vamsplit`; this
+//! linear scan is index-free and so belongs to the kernel crate, where both
+//! the workload generator and the search tests can reach it.
+
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, PartialEq)]
+struct Candidate {
+    dist2: f64,
+    id: u32,
+}
+impl Eq for Candidate {}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist2
+            .total_cmp(&other.dist2)
+            .then(self.id.cmp(&other.id))
+    }
+}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Exact k-NN by linear scan, returning `(distance, id)` pairs in ascending
+/// distance order (ties broken by id). Returns fewer than `k` pairs only if
+/// the dataset is smaller than `k`.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] for a wrong-length query,
+/// [`Error::InvalidParameter`] for `k == 0`, and [`Error::EmptyInput`] for
+/// an empty dataset.
+pub fn scan_knn(data: &Dataset, q: &[f32], k: usize) -> Result<Vec<(f64, u32)>> {
+    if q.len() != data.dim() {
+        return Err(Error::DimensionMismatch {
+            expected: data.dim(),
+            actual: q.len(),
+        });
+    }
+    if k == 0 {
+        return Err(Error::invalid("k", "k must be positive"));
+    }
+    if data.is_empty() {
+        return Err(Error::EmptyInput("dataset for scan_knn"));
+    }
+    let mut best: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
+    for id in 0..data.len() {
+        let d2 = data.dist2_to(id, q);
+        if best.len() < k {
+            best.push(Candidate {
+                dist2: d2,
+                id: id as u32,
+            });
+        } else if d2 < best.peek().expect("non-empty").dist2 {
+            best.pop();
+            best.push(Candidate {
+                dist2: d2,
+                id: id as u32,
+            });
+        }
+    }
+    let mut out: Vec<(f64, u32)> = best
+        .into_sorted_vec()
+        .into_iter()
+        .map(|c| (c.dist2.sqrt(), c.id))
+        .collect();
+    out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    Ok(out)
+}
+
+/// Radius of the exact k-NN sphere of `q` (distance to the k-th neighbor).
+///
+/// # Errors
+///
+/// Same conditions as [`scan_knn`].
+pub fn scan_knn_radius(data: &Dataset, q: &[f32], k: usize) -> Result<f64> {
+    let nn = scan_knn(data, q, k)?;
+    Ok(nn.last().map(|&(d, _)| d).unwrap_or(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> Dataset {
+        // Points at x = 0, 1, 2, ..., 9.
+        Dataset::from_flat(1, (0..10).map(|i| i as f32).collect()).unwrap()
+    }
+
+    #[test]
+    fn scan_knn_orders_by_distance() {
+        let d = line_data();
+        let nn = scan_knn(&d, &[2.2], 3).unwrap();
+        let ids: Vec<u32> = nn.iter().map(|&(_, i)| i).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+        assert!((nn[0].0 - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn radius_is_kth_distance() {
+        let d = line_data();
+        let r = scan_knn_radius(&d, &[0.0], 3).unwrap();
+        assert!((r - 2.0).abs() < 1e-9);
+        // Self-query: nearest is itself at distance 0.
+        let r1 = scan_knn_radius(&d, &[5.0], 1).unwrap();
+        assert_eq!(r1, 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        let d = line_data();
+        assert!(scan_knn(&d, &[0.0, 0.0], 1).is_err());
+        assert!(scan_knn(&d, &[0.0], 0).is_err());
+        let empty = Dataset::with_capacity(1, 0).unwrap();
+        assert!(scan_knn(&empty, &[0.0], 1).is_err());
+    }
+
+    #[test]
+    fn k_exceeding_dataset_returns_all() {
+        let d = line_data();
+        let nn = scan_knn(&d, &[0.0], 25).unwrap();
+        assert_eq!(nn.len(), 10);
+    }
+}

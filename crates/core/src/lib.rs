@@ -1,0 +1,33 @@
+//! # hdidx-core
+//!
+//! Geometry and dataset kernel shared by every crate in the `hdidx`
+//! workspace — the reproduction of *Lang & Singh, "Modeling High-Dimensional
+//! Index Structures using Sampling", SIGMOD 2001*.
+//!
+//! The crate provides:
+//!
+//! * [`Dataset`] — a flat, row-major `f32` point collection (the storage
+//!   format that the paper's page-capacity arithmetic assumes: 4 bytes per
+//!   coordinate plus an 8-byte record id),
+//! * [`HyperRect`] — minimal bounding hyper-rectangles with the distance
+//!   predicates used throughout (MINDIST, sphere intersection, compensation
+//!   growth),
+//! * per-dimension statistics ([`stats`]) used by the maximum-variance split,
+//! * a small deterministic RNG wrapper ([`rng`]) so that every experiment in
+//!   the repository is reproducible from a seed.
+//!
+//! All distance arithmetic accumulates in `f64` even though coordinates are
+//! stored as `f32`; in 60+ dimensions the squared-distance accumulation error
+//! of pure `f32` is large enough to flip page-access decisions near the query
+//! radius.
+
+pub mod dataset;
+pub mod error;
+pub mod knn;
+pub mod rect;
+pub mod rng;
+pub mod stats;
+
+pub use dataset::Dataset;
+pub use error::{Error, Result};
+pub use rect::HyperRect;

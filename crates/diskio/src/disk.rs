@@ -1,0 +1,248 @@
+//! Single-head simulated disk with page-granular access accounting.
+//!
+//! Files are contiguous page ranges allocated from one address space, so
+//! head movement *between* files (e.g. between the data file and the
+//! resampling scratch areas of §4.4) is accounted exactly like movement
+//! within a file: accessing a page that is not the successor of the
+//! previously accessed page costs one seek; every accessed page costs one
+//! transfer. Re-accessing the page under the head is free (it is still in
+//! the drive buffer).
+//!
+//! Contents are *not* stored — algorithms keep their data in RAM and call
+//! [`Disk::access`] with the page ranges a real external-memory
+//! implementation would touch. What is simulated is the access pattern, not
+//! the bytes; the counters are therefore exact for the simulated pattern.
+
+use crate::model::IoStats;
+use hdidx_core::{Error, Result};
+
+/// A contiguous page range on the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileHandle {
+    start_page: u64,
+    pages: u64,
+}
+
+impl FileHandle {
+    /// Number of pages in the file.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+}
+
+/// The simulated disk: an allocator plus the head-position accounting.
+#[derive(Debug, Clone)]
+pub struct Disk {
+    next_free_page: u64,
+    last_page: Option<u64>,
+    stats: IoStats,
+}
+
+impl Disk {
+    /// A fresh disk with an idle head and zeroed counters.
+    pub fn new() -> Disk {
+        Disk {
+            next_free_page: 0,
+            last_page: None,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Allocates a file of `pages` contiguous pages.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero-page files.
+    pub fn alloc(&mut self, pages: u64) -> Result<FileHandle> {
+        if pages == 0 {
+            return Err(Error::invalid("pages", "cannot allocate an empty file"));
+        }
+        let handle = FileHandle {
+            start_page: self.next_free_page,
+            pages,
+        };
+        self.next_free_page += pages;
+        Ok(handle)
+    }
+
+    /// Accesses `n_pages` pages of `file` starting at page `first_page`
+    /// (file-relative), reading or writing — the head does not care which.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IoOutOfRange`] if the range exceeds the file.
+    pub fn access(&mut self, file: &FileHandle, first_page: u64, n_pages: u64) -> Result<()> {
+        if n_pages == 0 {
+            return Ok(());
+        }
+        let end = first_page
+            .checked_add(n_pages)
+            .ok_or(Error::IoOutOfRange {
+                index: usize::MAX,
+                len: file.pages as usize,
+            })?;
+        if end > file.pages {
+            return Err(Error::IoOutOfRange {
+                index: end as usize,
+                len: file.pages as usize,
+            });
+        }
+        let abs_first = file.start_page + first_page;
+        let mut remaining = n_pages;
+        let mut cursor = abs_first;
+        // Free re-access of the page currently under the head.
+        if self.last_page == Some(cursor) {
+            cursor += 1;
+            remaining -= 1;
+            if remaining == 0 {
+                return Ok(());
+            }
+        }
+        if self.last_page.map(|lp| lp + 1) != Some(cursor) {
+            self.stats.seeks += 1;
+        }
+        self.stats.transfers += remaining;
+        self.last_page = Some(cursor + remaining - 1);
+        Ok(())
+    }
+
+    /// Accesses the pages holding records `first_rec..first_rec + n_recs`
+    /// of a file storing `recs_per_page` records per page.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors from [`Disk::access`]; rejects
+    /// `recs_per_page == 0`.
+    pub fn access_records(
+        &mut self,
+        file: &FileHandle,
+        first_rec: u64,
+        n_recs: u64,
+        recs_per_page: u64,
+    ) -> Result<()> {
+        if recs_per_page == 0 {
+            return Err(Error::invalid("recs_per_page", "must be positive"));
+        }
+        if n_recs == 0 {
+            return Ok(());
+        }
+        let first_page = first_rec / recs_per_page;
+        let last_page = (first_rec + n_recs - 1) / recs_per_page;
+        self.access(file, first_page, last_page - first_page + 1)
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Resets counters (head position is kept — a new measurement starts
+    /// wherever the head last was).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Adds externally counted I/O (e.g. the per-access random I/O of query
+    /// execution) to this disk's tally and invalidates the head position.
+    pub fn charge(&mut self, io: IoStats) {
+        self.stats += io;
+        if io.seeks > 0 || io.transfers > 0 {
+            self.last_page = None;
+        }
+    }
+}
+
+impl Default for Disk {
+    fn default() -> Self {
+        Disk::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_access_costs_one_seek() {
+        let mut d = Disk::new();
+        let f = d.alloc(100).unwrap();
+        d.access(&f, 0, 10).unwrap();
+        assert_eq!(d.stats(), IoStats { seeks: 1, transfers: 10 });
+        // Continuing where the head is: no new seek.
+        d.access(&f, 10, 5).unwrap();
+        assert_eq!(d.stats(), IoStats { seeks: 1, transfers: 15 });
+    }
+
+    #[test]
+    fn jump_costs_a_seek() {
+        let mut d = Disk::new();
+        let f = d.alloc(100).unwrap();
+        d.access(&f, 0, 1).unwrap();
+        d.access(&f, 50, 1).unwrap();
+        assert_eq!(d.stats(), IoStats { seeks: 2, transfers: 2 });
+        // Jumping backwards also seeks.
+        d.access(&f, 10, 1).unwrap();
+        assert_eq!(d.stats().seeks, 3);
+    }
+
+    #[test]
+    fn same_page_reaccess_is_free() {
+        let mut d = Disk::new();
+        let f = d.alloc(10).unwrap();
+        d.access(&f, 3, 1).unwrap();
+        d.access(&f, 3, 1).unwrap();
+        assert_eq!(d.stats(), IoStats { seeks: 1, transfers: 1 });
+        // Re-access extending past the buffered page: only the new pages.
+        d.access(&f, 3, 3).unwrap();
+        assert_eq!(d.stats(), IoStats { seeks: 1, transfers: 3 });
+    }
+
+    #[test]
+    fn cross_file_switch_costs_a_seek() {
+        let mut d = Disk::new();
+        let a = d.alloc(10).unwrap();
+        let b = d.alloc(10).unwrap();
+        d.access(&a, 0, 10).unwrap();
+        // File b starts right after a, so continuing into it is sequential.
+        d.access(&b, 0, 1).unwrap();
+        assert_eq!(d.stats(), IoStats { seeks: 1, transfers: 11 });
+        // But going back to a seeks.
+        d.access(&a, 5, 1).unwrap();
+        assert_eq!(d.stats().seeks, 2);
+    }
+
+    #[test]
+    fn record_granular_access() {
+        let mut d = Disk::new();
+        let f = d.alloc(10).unwrap();
+        // 33 records/page: records 0..=32 on page 0, 33..=65 on page 1.
+        d.access_records(&f, 30, 10, 33).unwrap();
+        assert_eq!(d.stats(), IoStats { seeks: 1, transfers: 2 });
+        assert!(d.access_records(&f, 0, 1, 0).is_err());
+        d.access_records(&f, 0, 0, 33).unwrap(); // no-op
+        assert_eq!(d.stats().transfers, 2);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = Disk::new();
+        let f = d.alloc(10).unwrap();
+        assert!(d.access(&f, 5, 6).is_err());
+        assert!(d.access(&f, 0, 10).is_ok());
+        assert!(d.alloc(0).is_err());
+    }
+
+    #[test]
+    fn charge_and_reset() {
+        let mut d = Disk::new();
+        let f = d.alloc(4).unwrap();
+        d.access(&f, 0, 4).unwrap();
+        d.charge(IoStats::random(7));
+        assert_eq!(d.stats(), IoStats { seeks: 8, transfers: 11 });
+        d.reset_stats();
+        assert_eq!(d.stats(), IoStats::default());
+        // Head was invalidated by charge: next access seeks.
+        d.access(&f, 0, 1).unwrap();
+        assert_eq!(d.stats().seeks, 1);
+    }
+}

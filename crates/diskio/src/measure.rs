@@ -1,0 +1,110 @@
+//! Ground-truth measurement: build the on-disk index, run the k-NN
+//! workload against it, and report the paper's "On-disk" row — build I/O
+//! plus query I/O plus the measured average leaf accesses per query that
+//! every predictor is scored against.
+
+use crate::external::{build_on_disk, ExternalConfig};
+use crate::model::IoStats;
+use hdidx_core::{Dataset, Result};
+use hdidx_vamsplit::query::knn;
+use hdidx_vamsplit::topology::Topology;
+use hdidx_vamsplit::tree::RTree;
+
+/// Everything the paper's Table 3 needs from the on-disk baseline.
+#[derive(Debug, Clone)]
+pub struct OnDiskMeasurement {
+    /// The bulk-loaded index.
+    pub tree: RTree,
+    /// I/O consumed building the index.
+    pub build_io: IoStats,
+    /// I/O consumed executing the workload. The paper observes that query
+    /// page accesses are essentially all random (seek ≈ transfer counts),
+    /// so every accessed page (directory or leaf) is charged one seek and
+    /// one transfer.
+    pub query_io: IoStats,
+    /// Leaf accesses per query, in workload order.
+    pub per_query_leaf_accesses: Vec<u64>,
+}
+
+impl OnDiskMeasurement {
+    /// Average leaf-page accesses per query — the quantity every predictor
+    /// estimates.
+    pub fn avg_leaf_accesses(&self) -> f64 {
+        if self.per_query_leaf_accesses.is_empty() {
+            return 0.0;
+        }
+        self.per_query_leaf_accesses.iter().sum::<u64>() as f64
+            / self.per_query_leaf_accesses.len() as f64
+    }
+
+    /// Build + query I/O combined (the paper's "sum" column).
+    pub fn total_io(&self) -> IoStats {
+        self.build_io + self.query_io
+    }
+}
+
+/// Builds the on-disk index under `cfg` and executes `k`-NN queries at the
+/// given centers, counting all I/O.
+///
+/// # Errors
+///
+/// Propagates build and query errors (shape mismatches, invalid budgets).
+pub fn measure_on_disk(
+    data: &Dataset,
+    topo: &Topology,
+    centers: &[Vec<f32>],
+    k: usize,
+    cfg: &ExternalConfig,
+) -> Result<OnDiskMeasurement> {
+    let built = build_on_disk(data, topo, cfg)?;
+    let mut query_io = IoStats::default();
+    let mut per_query = Vec::with_capacity(centers.len());
+    for c in centers {
+        let res = knn(&built.tree, data, c, k)?;
+        per_query.push(res.stats.leaf_accesses);
+        query_io += IoStats::random(res.stats.total());
+    }
+    Ok(OnDiskMeasurement {
+        tree: built.tree,
+        build_io: built.io,
+        query_io,
+        per_query_leaf_accesses: per_query,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdidx_core::rng::seeded;
+    use rand::Rng;
+
+    fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = seeded(seed);
+        Dataset::from_flat(dim, (0..n * dim).map(|_| rng.gen::<f32>()).collect()).unwrap()
+    }
+
+    #[test]
+    fn measurement_reports_plausible_numbers() {
+        let data = random_dataset(3000, 6, 51);
+        let topo = Topology::from_capacities(6, 3000, 20, 8).unwrap();
+        let centers: Vec<Vec<f32>> = (0..20).map(|i| data.point(i * 10).to_vec()).collect();
+        let m = measure_on_disk(&data, &topo, &centers, 11, &ExternalConfig::with_mem_points(500))
+            .unwrap();
+        assert_eq!(m.per_query_leaf_accesses.len(), 20);
+        assert!(m.avg_leaf_accesses() >= 1.0);
+        assert!(m.avg_leaf_accesses() <= topo.leaf_pages() as f64);
+        // Query accesses are modeled as fully random.
+        assert_eq!(m.query_io.seeks, m.query_io.transfers);
+        assert!(m.total_io().transfers >= m.build_io.transfers);
+    }
+
+    #[test]
+    fn empty_workload_costs_no_query_io() {
+        let data = random_dataset(500, 4, 52);
+        let topo = Topology::from_capacities(4, 500, 10, 5).unwrap();
+        let m =
+            measure_on_disk(&data, &topo, &[], 5, &ExternalConfig::with_mem_points(500)).unwrap();
+        assert_eq!(m.query_io, IoStats::default());
+        assert_eq!(m.avg_leaf_accesses(), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Disk cost model and I/O counters.
+
+use std::ops::{Add, AddAssign};
+
+/// Seek/transfer counters, the unit of cost throughout the reproduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of disk seeks (head movements to a non-adjacent page).
+    pub seeks: u64,
+    /// Number of page transfers.
+    pub transfers: u64,
+}
+
+impl IoStats {
+    /// A single sequential run: one seek followed by `pages` transfers.
+    pub fn run(pages: u64) -> IoStats {
+        IoStats {
+            seeks: 1,
+            transfers: pages,
+        }
+    }
+
+    /// `n` random page accesses: `n` seeks and `n` transfers.
+    pub fn random(n: u64) -> IoStats {
+        IoStats {
+            seeks: n,
+            transfers: n,
+        }
+    }
+}
+
+impl Add for IoStats {
+    type Output = IoStats;
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            seeks: self.seeks + rhs.seeks,
+            transfers: self.transfers + rhs.transfers,
+        }
+    }
+}
+
+impl AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        self.seeks += rhs.seeks;
+        self.transfers += rhs.transfers;
+    }
+}
+
+/// The paper's disk model: average seek(+latency) time and bandwidth. The
+/// per-page transfer time follows from the page size, so Figure 13's page
+/// size sweep changes it automatically.
+///
+/// # Examples
+///
+/// ```
+/// use hdidx_diskio::{DiskModel, IoStats};
+///
+/// let disk = DiskModel::PAPER; // 10 ms seek, 20 MB/s, 8 KB pages
+/// assert!((disk.t_xfer_s() - 0.4096e-3).abs() < 1e-9);
+/// let io = IoStats { seeks: 100, transfers: 1000 };
+/// assert!((disk.cost_seconds(io) - (1.0 + 0.4096)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Average seek plus rotational latency, seconds (paper: 10 ms).
+    pub t_seek_s: f64,
+    /// Sustained bandwidth, bytes per second (paper: 20 MB/s).
+    pub bandwidth_bytes_per_s: f64,
+    /// Page size in bytes (paper: 8 KB by default).
+    pub page_bytes: usize,
+}
+
+impl DiskModel {
+    /// The paper's disk: 10 ms seek, 20 MB/s, 8 KB pages (t_xfer ≈ 0.4 ms).
+    pub const PAPER: DiskModel = DiskModel {
+        t_seek_s: 0.010,
+        bandwidth_bytes_per_s: 20.0e6,
+        page_bytes: 8192,
+    };
+
+    /// The paper's disk with a different page size.
+    pub fn paper_with_page_bytes(page_bytes: usize) -> DiskModel {
+        DiskModel {
+            page_bytes,
+            ..DiskModel::PAPER
+        }
+    }
+
+    /// Transfer time for one page, seconds.
+    pub fn t_xfer_s(&self) -> f64 {
+        self.page_bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Converts counters to seconds:
+    /// `seeks * t_seek + transfers * t_xfer`.
+    pub fn cost_seconds(&self, io: IoStats) -> f64 {
+        io.seeks as f64 * self.t_seek_s + io.transfers as f64 * self.t_xfer_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_transfer_time_is_0_4_ms() {
+        let m = DiskModel::PAPER;
+        assert!((m.t_xfer_s() - 0.4096e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_combines_seeks_and_transfers() {
+        let m = DiskModel::PAPER;
+        let io = IoStats {
+            seeks: 100,
+            transfers: 1000,
+        };
+        let expect = 100.0 * 0.010 + 1000.0 * 8192.0 / 20.0e6;
+        assert!((m.cost_seconds(io) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn page_size_scales_transfer_cost() {
+        let m64 = DiskModel::paper_with_page_bytes(65_536);
+        assert!((m64.t_xfer_s() - 8.0 * DiskModel::PAPER.t_xfer_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_arithmetic() {
+        let mut a = IoStats::run(10); // 1 seek, 10 transfers
+        a += IoStats::random(5); // 5 seeks, 5 transfers
+        assert_eq!(
+            a,
+            IoStats {
+                seeks: 6,
+                transfers: 15
+            }
+        );
+        let b = a + IoStats::default();
+        assert_eq!(b, a);
+    }
+}

@@ -1,0 +1,208 @@
+//! The §3 basic model: unrestricted memory, one sample, one mini-index.
+//!
+//! Sample a fraction `ζ` of the data, bulk-load the mini-index with the
+//! full tree's topology (page capacities implicitly scale to `C·ζ`), grow
+//! every leaf page by the Theorem-1 compensation factor `δ(C_eff,data, ζ)`,
+//! and predict each query's page accesses as the number of grown leaves its
+//! query sphere intersects. This is the model behind Figure 2, where the
+//! compensated and uncompensated variants are compared across sample sizes.
+
+use crate::compensation::growth_factor;
+use crate::{Prediction, QueryBall};
+use hdidx_core::rng::{bernoulli_sample, seeded};
+use hdidx_core::{Dataset, Error, Result};
+use hdidx_diskio::IoStats;
+use hdidx_vamsplit::bulkload::bulk_load_scaled;
+use hdidx_vamsplit::query::count_sphere_intersections;
+use hdidx_vamsplit::topology::Topology;
+
+/// Parameters of the basic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BasicParams {
+    /// Sampling fraction `ζ ∈ (1/C, 1]`.
+    pub zeta: f64,
+    /// Whether to apply the Theorem-1 growth (Figure 2 compares both).
+    pub compensate: bool,
+    /// RNG seed for the Bernoulli sample.
+    pub seed: u64,
+}
+
+/// Runs the basic model.
+///
+/// The reported I/O is one sequential scan of the dataset (the sample is
+/// collected during a scan); memory is assumed unlimited (§3).
+///
+/// # Errors
+///
+/// Propagates compensation-domain violations (`ζ ≤ 1/C`), topology and
+/// sampling errors. A sample that comes back empty is reported as
+/// [`Error::EmptyInput`].
+pub fn predict_basic(
+    data: &Dataset,
+    topo: &Topology,
+    queries: &[QueryBall],
+    params: &BasicParams,
+) -> Result<Prediction> {
+    let n = data.len();
+    if n != topo.n() {
+        return Err(Error::invalid(
+            "data",
+            format!("topology is for {} points, data has {n}", topo.n()),
+        ));
+    }
+    crate::validate_balls(queries, topo.dim())?;
+    // Validate ζ against the compensation domain up front even when not
+    // compensating — a sample below 1/C leaves pages with ≤ 1 point and the
+    // model is meaningless either way (§3.3).
+    let factor = growth_factor(topo.cap_data() as f64, params.zeta)?;
+    let mut rng = seeded(params.seed);
+    let sample = bernoulli_sample(&mut rng, n, params.zeta);
+    if sample.is_empty() {
+        return Err(Error::EmptyInput("Bernoulli sample"));
+    }
+    let mini = bulk_load_scaled(data, sample, topo, n as f64)?;
+    let applied = if params.compensate { factor } else { 1.0 };
+    let mut pages = Vec::with_capacity(mini.num_leaves());
+    for leaf in mini.leaves() {
+        pages.push(leaf.rect.scaled_about_center(applied)?);
+    }
+    let per_query: Vec<u64> = queries
+        .iter()
+        .map(|q| count_sphere_intersections(&pages, &q.center, q.radius))
+        .collect();
+    let scan_pages = (n as u64).div_ceil(topo.cap_data() as u64);
+    Ok(Prediction {
+        per_query,
+        io: IoStats::run(scan_pages),
+        predicted_leaf_pages: pages.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdidx_core::rng::seeded as seed_rng;
+    use hdidx_vamsplit::bulkload::bulk_load;
+    use hdidx_vamsplit::query::knn;
+    use rand::Rng;
+
+    fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = seed_rng(seed);
+        Dataset::from_flat(dim, (0..n * dim).map(|_| rng.gen::<f32>()).collect()).unwrap()
+    }
+
+    fn workload(data: &Dataset, tree_topo: &Topology, q: usize, k: usize) -> (Vec<QueryBall>, f64) {
+        // Ground truth: run k-NN on the real full index.
+        let tree = bulk_load(data, tree_topo).unwrap();
+        let mut balls = Vec::new();
+        let mut total = 0u64;
+        for i in 0..q {
+            let center = data.point(i * 7).to_vec();
+            let res = knn(&tree, data, &center, k).unwrap();
+            total += res.stats.leaf_accesses;
+            balls.push(QueryBall::new(center, res.radius()));
+        }
+        (balls, total as f64 / q as f64)
+    }
+
+    #[test]
+    fn full_sample_is_nearly_exact() {
+        let data = random_dataset(3000, 6, 71);
+        let topo = Topology::from_capacities(6, 3000, 20, 8).unwrap();
+        let (balls, measured) = workload(&data, &topo, 30, 11);
+        let p = predict_basic(
+            &data,
+            &topo,
+            &balls,
+            &BasicParams {
+                zeta: 1.0,
+                compensate: true,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        // ζ = 1 rebuilds the identical tree: prediction == measurement.
+        assert!(
+            (p.avg_leaf_accesses() - measured).abs() < 1e-9,
+            "{} vs {measured}",
+            p.avg_leaf_accesses()
+        );
+    }
+
+    #[test]
+    fn compensation_reduces_underestimation() {
+        let data = random_dataset(4000, 6, 72);
+        let topo = Topology::from_capacities(6, 4000, 20, 8).unwrap();
+        let (balls, measured) = workload(&data, &topo, 40, 11);
+        let zeta = 0.3;
+        let raw = predict_basic(
+            &data,
+            &topo,
+            &balls,
+            &BasicParams {
+                zeta,
+                compensate: false,
+                seed: 2,
+            },
+        )
+        .unwrap();
+        let comp = predict_basic(
+            &data,
+            &topo,
+            &balls,
+            &BasicParams {
+                zeta,
+                compensate: true,
+                seed: 2,
+            },
+        )
+        .unwrap();
+        // Shrunken pages under-count; growing them must increase the
+        // prediction and move it toward the measurement (Figure 2).
+        assert!(comp.avg_leaf_accesses() >= raw.avg_leaf_accesses());
+        let raw_err = (raw.avg_leaf_accesses() - measured).abs();
+        let comp_err = (comp.avg_leaf_accesses() - measured).abs();
+        assert!(
+            comp_err <= raw_err + 1.0,
+            "comp {comp_err} vs raw {raw_err} (measured {measured})"
+        );
+    }
+
+    #[test]
+    fn io_is_one_scan() {
+        let data = random_dataset(1000, 4, 73);
+        let topo = Topology::from_capacities(4, 1000, 10, 5).unwrap();
+        let p = predict_basic(
+            &data,
+            &topo,
+            &[],
+            &BasicParams {
+                zeta: 0.5,
+                compensate: true,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(p.io, IoStats::run(100));
+        assert!(p.predicted_leaf_pages > 0);
+    }
+
+    #[test]
+    fn zeta_domain_enforced() {
+        let data = random_dataset(1000, 4, 74);
+        let topo = Topology::from_capacities(4, 1000, 10, 5).unwrap();
+        for bad in [0.0, -0.1, 1.5, 0.05 /* <= 1/C = 0.1 */] {
+            let r = predict_basic(
+                &data,
+                &topo,
+                &[],
+                &BasicParams {
+                    zeta: bad,
+                    compensate: true,
+                    seed: 0,
+                },
+            );
+            assert!(r.is_err(), "zeta = {bad} accepted");
+        }
+    }
+}

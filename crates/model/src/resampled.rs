@@ -1,0 +1,368 @@
+//! The §4.4 **resampled index tree**: the paper's flagship predictor.
+//!
+//! After the upper phase, a second Bernoulli sample at rate
+//! `σ_lower = min(k·M/N, 1)` is drawn during one more scan. Every resampled
+//! point is assigned to the grown upper-tree leaf box that contains it — or
+//! to the nearest box by Euclidean MINDIST, growing that box to cover the
+//! point (the paper's Figure 6). Points are spooled to `k` consecutive disk
+//! areas (one per box) through an `M`-point memory window (Figure 8's
+//! chunked pattern). Each area is then read back and its lower tree is
+//! bulk-loaded entirely in memory at the `k`-fold increased sampling rate;
+//! the lower-tree data pages are grown by `δ(C_eff,data, σ_lower)` and the
+//! query spheres are counted against them.
+//!
+//! The I/O is measured by running the actual access pattern through the
+//! simulated disk — the paper's Eq. (5) closed form for the same quantity
+//! lives in [`crate::cost`] and the two are compared in tests.
+
+use crate::compensation::growth_factor;
+use crate::hupper::sigma_lower;
+use crate::upper::build_upper_phase;
+use crate::{Prediction, QueryBall};
+use hdidx_core::rng::{bernoulli_sample, seeded};
+use hdidx_core::{Dataset, HyperRect, Result};
+use hdidx_diskio::{Disk, IoStats};
+use hdidx_vamsplit::bulkload::bulk_load_subtree;
+use hdidx_vamsplit::query::count_sphere_intersections;
+use hdidx_vamsplit::topology::Topology;
+
+/// Parameters of the resampled predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResampledParams {
+    /// Memory budget in points (the paper's `M`).
+    pub m: usize,
+    /// Height of the upper tree.
+    pub h_upper: usize,
+    /// RNG seed (upper sample and resampling derive from it).
+    pub seed: u64,
+}
+
+/// Outputs of the resampled predictor.
+#[derive(Debug, Clone)]
+pub struct ResampledPrediction {
+    /// The prediction (per-query counts, I/O, page count).
+    pub prediction: Prediction,
+    /// Upper-tree sampling rate `σ_upper`.
+    pub sigma_upper: f64,
+    /// Lower-tree sampling rate `σ_lower`.
+    pub sigma_lower: f64,
+    /// Number of upper-tree leaf pages `k`.
+    pub k: usize,
+}
+
+/// Runs the resampled predictor for `queries`.
+///
+/// # Errors
+///
+/// Propagates upper-phase errors and the §4.5 feasibility violations
+/// (e.g. `σ_lower · C_eff,data ≤ 1`, which surfaces as a compensation
+/// domain error advising a taller upper tree).
+pub fn predict_resampled(
+    data: &Dataset,
+    topo: &Topology,
+    queries: &[QueryBall],
+    params: &ResampledParams,
+) -> Result<ResampledPrediction> {
+    crate::validate_balls(queries, topo.dim())?;
+    let up = build_upper_phase(data, topo, params.m, params.h_upper, params.seed)?;
+    let k = up.k();
+    let n = data.len();
+    let b = topo.cap_data() as u64; // points per data-file page
+    let s_lower = sigma_lower(topo, params.m, params.h_upper);
+
+    // Growth factor for the lower-tree data pages; validates the domain
+    // (sigma_lower must exceed 1/C) even when it ends up being 1.
+    let leaf_factor = if s_lower >= 1.0 {
+        1.0
+    } else {
+        growth_factor(topo.cap_data() as f64, s_lower)?
+    };
+
+    // ---- I/O accounting disk -------------------------------------------
+    let mut disk = Disk::new();
+    let data_pages = (n as u64).div_ceil(b);
+    let file = disk.alloc(data_pages)?;
+    let area_pages = (params.m as u64).div_ceil(b).max(1);
+    let areas = disk.alloc((k as u64) * area_pages)?;
+
+    // Step 2 (Eq. 2): read the q query points randomly.
+    disk.charge(IoStats::random(queries.len() as u64));
+    // Step 3 (Eq. 3): scan the dataset (query spheres + upper sample).
+    disk.access(&file, 0, data_pages)?;
+
+    // ---- Step 6: resampling scan + distribution ------------------------
+    let mut rng = seeded(params.seed.wrapping_add(0x5EED));
+    let resample = bernoulli_sample(&mut rng, n, s_lower);
+    // Boxes mutate as points are adopted (Figure 6 b).
+    let mut boxes: Vec<HyperRect> = up.grown_leaves.clone();
+    let mut assigned: Vec<Vec<u32>> = vec![Vec::new(); k];
+    // Chunked processing: read spans containing M sample points, then
+    // flush each box's chunk-batch to its area (Figure 8).
+    let mut chunk_batches: Vec<Vec<u32>> = vec![Vec::new(); k];
+    let mut area_cursor: Vec<u64> = vec![0; k];
+    let mut chunk_count = 0usize;
+    let mut span_start = 0u64;
+    let mut idx = 0usize;
+    while idx < resample.len() {
+        let chunk_end_idx = (idx + params.m).min(resample.len());
+        // The span of file records this chunk's sample points live in.
+        let span_end = if chunk_end_idx == resample.len() {
+            n as u64
+        } else {
+            resample[chunk_end_idx] as u64
+        };
+        disk.access_records(&file, span_start, span_end - span_start, b)?;
+        span_start = span_end;
+        for &pid in &resample[idx..chunk_end_idx] {
+            let p = data.point(pid as usize);
+            let target = assign_to_box(&mut boxes, p);
+            chunk_batches[target].push(pid);
+        }
+        idx = chunk_end_idx;
+        chunk_count += 1;
+        // Flush this chunk's batches: one run per receiving area.
+        for (bi, batch) in chunk_batches.iter_mut().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            // Capacity: an area holds at most M points; excess is
+            // discarded (paper footnote 5).
+            let room = params.m.saturating_sub(assigned[bi].len());
+            let take = batch.len().min(room);
+            if take > 0 {
+                let first_rec = area_cursor[bi];
+                let first_page = (bi as u64) * area_pages + first_rec / b;
+                let last_page = (bi as u64) * area_pages + (first_rec + take as u64 - 1) / b;
+                disk.access(&areas, first_page, last_page - first_page + 1)?;
+                area_cursor[bi] += take as u64;
+                assigned[bi].extend_from_slice(&batch[..take]);
+            }
+            batch.clear();
+        }
+    }
+    let _ = chunk_count;
+
+    // ---- Steps 8–11: build each lower tree in memory -------------------
+    let mut pages: Vec<HyperRect> = Vec::new();
+    for (bi, ids) in assigned.iter().enumerate() {
+        if ids.is_empty() {
+            continue;
+        }
+        // Read the area back (one sequential run).
+        let used_pages = (ids.len() as u64).div_ceil(b);
+        disk.access(&areas, (bi as u64) * area_pages, used_pages)?;
+        // Unbiased estimate of the full-scale point count below this upper
+        // leaf: the area's sample count scaled back by sigma_lower (exact
+        // when sigma_lower = 1).
+        let n_full = (ids.len() as f64 / s_lower).max(2.0);
+        let lower = bulk_load_subtree(data, ids.clone(), topo, n_full, up.leaf_level)?;
+        for leaf in lower.leaves() {
+            pages.push(leaf.rect.scaled_about_center(leaf_factor)?);
+        }
+    }
+
+    let per_query: Vec<u64> = queries
+        .iter()
+        .map(|q| count_sphere_intersections(&pages, &q.center, q.radius))
+        .collect();
+    Ok(ResampledPrediction {
+        prediction: Prediction {
+            per_query,
+            io: disk.stats(),
+            predicted_leaf_pages: pages.len(),
+        },
+        sigma_upper: up.sigma_upper,
+        sigma_lower: s_lower,
+        k,
+    })
+}
+
+/// Figure 6: route a point to the box containing it, or to the nearest box
+/// by MINDIST, growing that box to cover the point.
+fn assign_to_box(boxes: &mut [HyperRect], p: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, b) in boxes.iter().enumerate() {
+        let d = b.mindist2(p);
+        if d == 0.0 {
+            return i; // containing box: no adjustment needed
+        }
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    boxes[best].expand_to_point(p);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdidx_core::rng::seeded as seed_rng;
+    use hdidx_vamsplit::bulkload::bulk_load;
+    use hdidx_vamsplit::query::knn;
+    use rand::Rng;
+
+    fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = seed_rng(seed);
+        Dataset::from_flat(dim, (0..n * dim).map(|_| rng.gen::<f32>()).collect()).unwrap()
+    }
+
+    fn ground_truth(
+        data: &Dataset,
+        topo: &Topology,
+        q: usize,
+        k: usize,
+    ) -> (Vec<QueryBall>, f64) {
+        let tree = bulk_load(data, topo).unwrap();
+        let mut balls = Vec::new();
+        let mut total = 0u64;
+        for i in 0..q {
+            let center = data.point((i * 13) % data.len()).to_vec();
+            let res = knn(&tree, data, &center, k).unwrap();
+            total += res.stats.leaf_accesses;
+            balls.push(QueryBall::new(center, res.radius()));
+        }
+        (balls, total as f64 / q as f64)
+    }
+
+    #[test]
+    fn assign_prefers_containing_box() {
+        let mut boxes = vec![
+            HyperRect::new(vec![0.0], vec![1.0]).unwrap(),
+            HyperRect::new(vec![2.0], vec![3.0]).unwrap(),
+        ];
+        assert_eq!(assign_to_box(&mut boxes, &[2.5]), 1);
+        // Outside both: nearest box (1) adopts the point and grows.
+        assert_eq!(assign_to_box(&mut boxes, &[3.4]), 1);
+        assert!(boxes[1].contains_point(&[3.4]));
+        assert!((boxes[1].hi()[0] - 3.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prediction_close_on_uniform_data() {
+        // Height-4 tree over uniform data: sigma_lower = 1 at the
+        // recommended h, so the predicted layout is near-exact and the
+        // error should be small (paper §5.2 reports -0.5 % .. -3 %).
+        let data = random_dataset(20_000, 6, 91);
+        let topo = Topology::from_capacities(6, 20_000, 20, 10).unwrap();
+        assert_eq!(topo.height(), 4);
+        let (balls, measured) = ground_truth(&data, &topo, 40, 11);
+        let p = predict_resampled(
+            &data,
+            &topo,
+            &balls,
+            &ResampledParams {
+                m: 2_000,
+                h_upper: 2,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let err = p.prediction.relative_error(measured);
+        assert!(
+            err.abs() < 0.20,
+            "relative error {err:+.3} (measured {measured}, predicted {})",
+            p.prediction.avg_leaf_accesses()
+        );
+    }
+
+    #[test]
+    fn sigma_values_follow_topology() {
+        let data = random_dataset(20_000, 6, 92);
+        let topo = Topology::from_capacities(6, 20_000, 20, 10).unwrap();
+        let p = predict_resampled(
+            &data,
+            &topo,
+            &[],
+            &ResampledParams {
+                m: 2_000,
+                h_upper: 2,
+                seed: 6,
+            },
+        )
+        .unwrap();
+        assert!((p.sigma_upper - 0.1).abs() < 1e-12);
+        assert_eq!(p.k, topo.upper_leaf_count(2) as usize);
+        let expect = (p.k as f64 * 2_000.0 / 20_000.0).min(1.0);
+        assert!((p.sigma_lower - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn io_grows_with_h_upper() {
+        // Paper §4.5.3: larger upper trees mean more areas and higher
+        // sigma_lower, so the resampling I/O increases with h_upper.
+        let data = random_dataset(30_000, 4, 93);
+        let topo = Topology::from_capacities(4, 30_000, 10, 5).unwrap();
+        assert!(topo.height() >= 4);
+        let io_of = |h: usize| {
+            predict_resampled(
+                &data,
+                &topo,
+                &[],
+                &ResampledParams {
+                    m: 1_500,
+                    h_upper: h,
+                    seed: 7,
+                },
+            )
+            .unwrap()
+            .prediction
+            .io
+        };
+        let a = io_of(2);
+        let b = io_of(3);
+        assert!(
+            b.seeks > a.seeks && b.transfers >= a.transfers,
+            "h=2 {a:?} vs h=3 {b:?}"
+        );
+    }
+
+    #[test]
+    fn predicted_page_count_tracks_topology_at_sigma_one() {
+        let data = random_dataset(20_000, 6, 94);
+        let topo = Topology::from_capacities(6, 20_000, 20, 10).unwrap();
+        let p = predict_resampled(
+            &data,
+            &topo,
+            &[],
+            &ResampledParams {
+                m: 2_000,
+                h_upper: 2,
+                seed: 8,
+            },
+        )
+        .unwrap();
+        assert_eq!(p.sigma_lower, 1.0);
+        let expect = topo.leaf_pages() as f64;
+        let got = p.prediction.predicted_leaf_pages as f64;
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "{got} pages vs {expect}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = random_dataset(8_000, 4, 95);
+        let topo = Topology::from_capacities(4, 8_000, 10, 5).unwrap();
+        let balls = vec![QueryBall::new(data.point(3).to_vec(), 0.2)];
+        let run = |seed| {
+            predict_resampled(
+                &data,
+                &topo,
+                &balls,
+                &ResampledParams {
+                    m: 800,
+                    h_upper: 2,
+                    seed,
+                },
+            )
+            .unwrap()
+            .prediction
+            .per_query
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,360 @@
+//! Tree-topology arithmetic: page capacities, heights, fanouts, node counts.
+//!
+//! The bulk loader, the phase-based predictors and the analytic cost
+//! formulas all reason about the *shape* of a bulk-loaded tree before any
+//! data is touched. This module centralizes that arithmetic:
+//!
+//! * [`PageConfig`] converts a page size in bytes into data/directory page
+//!   capacities (`C_max,data`, `C_max,dir` in the paper's Table 2 notation),
+//! * [`Topology`] fixes `(N, dim, C_data, C_dir)` and answers
+//!   `height`, `subtree_capacity(level)`, `nodes_at_level(level)` and
+//!   `pts(level)` — the paper's `capacity(...)` and `pts(...)` functions.
+//!
+//! Levels are numbered as in the paper (footnote 2): **leaves are level 1**,
+//! the root is at level `height`.
+
+use hdidx_core::dataset::{data_entry_bytes, dir_entry_bytes};
+use hdidx_core::{Error, Result};
+
+/// Physical page parameters translating bytes into entry capacities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageConfig {
+    /// Page size in bytes (the paper uses 8 KB throughout §4–5 and sweeps
+    /// 8–256 KB in Figure 13).
+    pub page_bytes: usize,
+    /// Fraction of the maximum capacity actually used
+    /// (`C_eff = max(2, floor(C_max * utilization))`). Bulk loading packs
+    /// pages nearly full, so the default is 1.0; dynamically loaded R*-trees
+    /// would use ≈0.7.
+    pub utilization: f64,
+}
+
+impl PageConfig {
+    /// 8 KB pages at full utilization — the paper's default.
+    pub const DEFAULT: PageConfig = PageConfig {
+        page_bytes: 8192,
+        utilization: 1.0,
+    };
+
+    /// Creates a configuration with full utilization.
+    pub fn with_page_bytes(page_bytes: usize) -> Self {
+        PageConfig {
+            page_bytes,
+            utilization: 1.0,
+        }
+    }
+
+    /// Effective data-page capacity in points (`C_eff,data`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if fewer than 2 points fit (a
+    /// one-point page has no volume; paper §4.5.1).
+    pub fn data_capacity(&self, dim: usize) -> Result<usize> {
+        self.effective(self.page_bytes / data_entry_bytes(dim), "data page")
+    }
+
+    /// Effective directory-page capacity in entries (`C_eff,dir`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if fewer than 2 entries fit.
+    pub fn dir_capacity(&self, dim: usize) -> Result<usize> {
+        self.effective(self.page_bytes / dir_entry_bytes(dim), "directory page")
+    }
+
+    fn effective(&self, max_cap: usize, what: &'static str) -> Result<usize> {
+        if !(self.utilization > 0.0 && self.utilization <= 1.0) {
+            return Err(Error::invalid("utilization", "must lie in (0, 1]"));
+        }
+        let eff = ((max_cap as f64) * self.utilization).floor() as usize;
+        if eff < 2 {
+            return Err(Error::invalid(
+                "page_bytes",
+                format!(
+                    "{what} holds {eff} entries at this dimensionality; \
+                     at least 2 are required — increase the page size"
+                ),
+            ));
+        }
+        Ok(eff)
+    }
+}
+
+/// The shape of a bulk-loaded tree over `n` points.
+///
+/// # Examples
+///
+/// ```
+/// use hdidx_vamsplit::topology::{PageConfig, Topology};
+///
+/// // The paper's TEXTURE60 setting: 275,465 points, 60 dims, 8 KB pages.
+/// let topo = Topology::new(60, 275_465, &PageConfig::DEFAULT).unwrap();
+/// assert_eq!(topo.cap_data(), 33);  // points per data page
+/// assert_eq!(topo.cap_dir(), 16);   // entries per directory page
+/// assert_eq!(topo.height(), 5);     // as reported in the paper's §5
+/// // Upper tree of height 3 cuts at level 3 with 33 leaf pages:
+/// assert_eq!(topo.upper_leaf_count(3), 33);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    dim: usize,
+    n: usize,
+    cap_data: usize,
+    cap_dir: usize,
+    height: usize,
+}
+
+impl Topology {
+    /// Derives the topology for `n` points of dimensionality `dim` under a
+    /// page configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacity errors from [`PageConfig`] and rejects `n == 0`.
+    pub fn new(dim: usize, n: usize, pages: &PageConfig) -> Result<Self> {
+        let cap_data = pages.data_capacity(dim)?;
+        let cap_dir = pages.dir_capacity(dim)?;
+        Self::from_capacities(dim, n, cap_data, cap_dir)
+    }
+
+    /// Derives the topology from explicit capacities (used by tests and by
+    /// the analytic cost model, which sweeps capacities directly).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `n == 0`, capacities below 2 and `dim == 0`.
+    pub fn from_capacities(dim: usize, n: usize, cap_data: usize, cap_dir: usize) -> Result<Self> {
+        if dim == 0 {
+            return Err(Error::invalid("dim", "dimensionality must be positive"));
+        }
+        if n == 0 {
+            return Err(Error::EmptyInput("topology over zero points"));
+        }
+        if cap_data < 2 || cap_dir < 2 {
+            return Err(Error::invalid(
+                "capacity",
+                format!("capacities must be >= 2, got data {cap_data}, dir {cap_dir}"),
+            ));
+        }
+        let mut height = 1usize;
+        let mut cap = cap_data as f64;
+        while cap < n as f64 {
+            cap *= cap_dir as f64;
+            height += 1;
+            if height > 64 {
+                return Err(Error::InfeasibleTopology(format!(
+                    "height exceeds 64 for n = {n}, cap_data = {cap_data}, cap_dir = {cap_dir}"
+                )));
+            }
+        }
+        Ok(Topology {
+            dim,
+            n,
+            cap_data,
+            cap_dir,
+            height,
+        })
+    }
+
+    /// Dimensionality of the indexed points.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of indexed points (the paper's `N`).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Effective data-page capacity (`C_eff,data`).
+    #[inline]
+    pub fn cap_data(&self) -> usize {
+        self.cap_data
+    }
+
+    /// Effective directory-page capacity (`C_eff,dir`).
+    #[inline]
+    pub fn cap_dir(&self) -> usize {
+        self.cap_dir
+    }
+
+    /// Height of the tree; a tree of a single (leaf) node has height 1.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Maximum number of points a full subtree rooted at `level` can hold:
+    /// `C_data * C_dir^(level-1)`. Computed in `f64` — tall trees overflow
+    /// `u64` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `1 <= level <= height`.
+    #[inline]
+    pub fn subtree_capacity(&self, level: usize) -> f64 {
+        debug_assert!(level >= 1 && level <= self.height);
+        (self.cap_data as f64) * (self.cap_dir as f64).powi(level as i32 - 1)
+    }
+
+    /// Expected number of points stored below one node at `level`
+    /// (the paper's `pts(h)`: `pts(height) = N`, `pts(1) = C_eff,data`).
+    #[inline]
+    pub fn pts(&self, level: usize) -> f64 {
+        self.subtree_capacity(level).min(self.n as f64)
+    }
+
+    /// Number of nodes at `level` of the bulk-loaded tree,
+    /// `ceil(N / subtree_capacity(level))`. For `level == height` this is 1.
+    pub fn nodes_at_level(&self, level: usize) -> u64 {
+        (self.n as f64 / self.subtree_capacity(level)).ceil() as u64
+    }
+
+    /// Number of leaf (data) pages.
+    #[inline]
+    pub fn leaf_pages(&self) -> u64 {
+        self.nodes_at_level(1)
+    }
+
+    /// Total number of pages (directory + data) — used by build-cost
+    /// accounting.
+    pub fn total_pages(&self) -> u64 {
+        (1..=self.height).map(|l| self.nodes_at_level(l)).sum()
+    }
+
+    /// Fanout required at a node holding `n_sub` (full-scale) points at
+    /// `level`: `ceil(n_sub / subtree_capacity(level - 1))`, at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `level >= 2` (leaves have no children).
+    pub fn fanout_for(&self, level: usize, n_sub: f64) -> usize {
+        debug_assert!(level >= 2);
+        let f = (n_sub / self.subtree_capacity(level - 1)).ceil() as usize;
+        f.max(1)
+    }
+
+    /// The level at which the *upper tree* of height `h_upper` has its
+    /// leaves: `height - h_upper + 1` (paper §4.2).
+    pub fn upper_leaf_level(&self, h_upper: usize) -> usize {
+        self.height + 1 - h_upper
+    }
+
+    /// Number of upper-tree leaf pages `k` for a given `h_upper` — the
+    /// count of full-tree nodes at the cut level.
+    pub fn upper_leaf_count(&self, h_upper: usize) -> u64 {
+        self.nodes_at_level(self.upper_leaf_level(h_upper))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// TEXTURE60 parameters: these must reproduce the paper's §5 numbers.
+    fn texture60() -> Topology {
+        Topology::new(60, 275_465, &PageConfig::DEFAULT).unwrap()
+    }
+
+    #[test]
+    fn texture60_capacities_and_height_match_paper() {
+        let t = texture60();
+        assert_eq!(t.cap_data(), 33);
+        assert_eq!(t.cap_dir(), 16);
+        // Paper §5: "The height of the index tree in the TEXTURE60 example is 5."
+        assert_eq!(t.height(), 5);
+        // Paper §5.3: 8,641 leaf pages; the ceil-based count is within 4 %.
+        let leaves = t.leaf_pages();
+        assert!((8_300..=8_700).contains(&leaves), "leaves = {leaves}");
+    }
+
+    #[test]
+    fn texture60_sigma_lower_values_match_paper_table3() {
+        // With M = 10,000: sigma_lower = k*M/N. Paper Table 3 reports
+        // 0.1089 for h_upper = 2 and 1.0 for h_upper = 3.
+        let t = texture60();
+        let m = 10_000f64;
+        let n = t.n() as f64;
+        let k2 = t.upper_leaf_count(2) as f64;
+        assert_eq!(k2, 3.0);
+        let sigma2 = (k2 * m / n).min(1.0);
+        assert!((sigma2 - 0.1089).abs() < 5e-4, "sigma_lower(2) = {sigma2}");
+        let k3 = t.upper_leaf_count(3) as f64;
+        assert_eq!(k3, 33.0);
+        assert!((k3 * m / n) >= 1.0);
+    }
+
+    #[test]
+    fn subtree_capacity_is_geometric() {
+        let t = Topology::from_capacities(4, 1000, 10, 5).unwrap();
+        assert_eq!(t.subtree_capacity(1), 10.0);
+        assert_eq!(t.subtree_capacity(2), 50.0);
+        assert_eq!(t.subtree_capacity(3), 250.0);
+        assert_eq!(t.height(), 4); // 10,50,250 < 1000 <= 1250
+        assert_eq!(t.pts(4), 1000.0);
+        assert_eq!(t.pts(1), 10.0);
+    }
+
+    #[test]
+    fn node_counts_and_fanout() {
+        let t = Topology::from_capacities(4, 1000, 10, 5).unwrap();
+        assert_eq!(t.nodes_at_level(4), 1);
+        assert_eq!(t.nodes_at_level(3), 4); // ceil(1000/250)
+        assert_eq!(t.nodes_at_level(2), 20);
+        assert_eq!(t.leaf_pages(), 100);
+        assert_eq!(t.total_pages(), 125);
+        assert_eq!(t.fanout_for(4, 1000.0), 4);
+        assert_eq!(t.fanout_for(2, 7.0), 1);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let t = Topology::from_capacities(2, 5, 10, 4).unwrap();
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.leaf_pages(), 1);
+    }
+
+    #[test]
+    fn upper_tree_levels() {
+        let t = texture60();
+        assert_eq!(t.upper_leaf_level(2), 4);
+        assert_eq!(t.upper_leaf_level(3), 3);
+        assert_eq!(t.upper_leaf_level(5), 1);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(Topology::from_capacities(0, 10, 4, 4).is_err());
+        assert!(Topology::from_capacities(2, 0, 4, 4).is_err());
+        assert!(Topology::from_capacities(2, 10, 1, 4).is_err());
+        assert!(Topology::from_capacities(2, 10, 4, 1).is_err());
+    }
+
+    #[test]
+    fn tiny_pages_rejected_for_high_dim() {
+        // 617 dims: a directory entry alone exceeds 4 KB; an 8 KB page
+        // holds only one entry, which must be rejected.
+        let cfg = PageConfig::with_page_bytes(8192);
+        assert!(cfg.dir_capacity(617).is_err());
+        // 32 KB pages work.
+        let cfg = PageConfig::with_page_bytes(32_768);
+        assert!(cfg.dir_capacity(617).unwrap() >= 2);
+    }
+
+    #[test]
+    fn utilization_shrinks_capacity() {
+        let cfg = PageConfig {
+            page_bytes: 8192,
+            utilization: 0.7,
+        };
+        assert_eq!(cfg.data_capacity(60).unwrap(), 23); // floor(33 * 0.7)
+        let bad = PageConfig {
+            page_bytes: 8192,
+            utilization: 0.0,
+        };
+        assert!(bad.data_capacity(60).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Side-by-side comparison of every cost model in the repository on one
+//! clustered dataset: the paper's basic/cutoff/resampled predictors and
+//! the uniform/fractal baselines, all scored against a measured ground
+//! truth (the paper's Table 3 + Table 4 in miniature).
+//!
+//! ```text
+//! cargo run --release --example compare_predictors
+//! ```
+
+use hdidx_repro::baselines::fractal::{estimate_fractal_dims, predict_fractal};
+use hdidx_repro::baselines::uniform::predict_uniform;
+use hdidx_repro::datagen::registry::NamedDataset;
+use hdidx_repro::datagen::workload::Workload;
+use hdidx_repro::diskio::external::ExternalConfig;
+use hdidx_repro::diskio::measure::measure_on_disk;
+use hdidx_repro::model::{
+    hupper, predict_basic, predict_cutoff, predict_resampled, BasicParams, CutoffParams,
+    QueryBall, ResampledParams,
+};
+use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
+
+fn main() {
+    let data = NamedDataset::Color64
+        .spec_scaled(0.1)
+        .generate()
+        .expect("generate");
+    let topo = Topology::new(data.dim(), data.len(), &PageConfig::DEFAULT).expect("topology");
+    let workload = Workload::density_biased(&data, 80, 21, 5).expect("workload");
+    let balls: Vec<QueryBall> = workload
+        .queries
+        .iter()
+        .map(|q| QueryBall::new(q.center.clone(), q.radius))
+        .collect();
+    let m = 1_500;
+
+    let centers: Vec<Vec<f32>> = workload.queries.iter().map(|q| q.center.clone()).collect();
+    let measured = measure_on_disk(
+        &data,
+        &topo,
+        &centers,
+        workload.k,
+        &ExternalConfig::with_mem_points(m),
+    )
+    .expect("measurement");
+    let truth = measured.avg_leaf_accesses();
+    println!(
+        "dataset: {} x {}, {} leaf pages; measured {truth:.1} leaf accesses/query\n",
+        data.len(),
+        data.dim(),
+        topo.leaf_pages()
+    );
+
+    let report = |name: &str, value: f64| {
+        println!(
+            "  {name:<28} {value:>8.1} accesses/query  ({:+.1}% error)",
+            100.0 * (value - truth) / truth
+        );
+    };
+
+    if let Ok(p) = predict_basic(
+        &data,
+        &topo,
+        &balls,
+        &BasicParams {
+            zeta: 0.2,
+            compensate: true,
+            seed: 6,
+        },
+    ) {
+        report("basic (zeta = 20%)", p.avg_leaf_accesses());
+    }
+    let h = hupper::recommended_h_upper(&topo, m).expect("h_upper");
+    if let Ok(p) = predict_cutoff(
+        &data,
+        &topo,
+        &balls,
+        &CutoffParams {
+            m,
+            h_upper: h,
+            seed: 6,
+        },
+    ) {
+        report(
+            &format!("cutoff (h_upper = {h})"),
+            p.prediction.avg_leaf_accesses(),
+        );
+    }
+    if let Ok(p) = predict_resampled(
+        &data,
+        &topo,
+        &balls,
+        &ResampledParams {
+            m,
+            h_upper: h,
+            seed: 6,
+        },
+    ) {
+        report(
+            &format!("resampled (h_upper = {h})"),
+            p.prediction.avg_leaf_accesses(),
+        );
+    }
+    if let Ok(p) = predict_uniform(&topo, workload.k) {
+        report("uniform baseline", p);
+    }
+    if let Ok(dims) = estimate_fractal_dims(&data, 6) {
+        let mbr = data.mbr().expect("mbr");
+        let side = (0..data.dim()).map(|j| mbr.extent(j)).fold(0.0, f64::max);
+        if let Ok(p) = predict_fractal(&topo, &dims, workload.mean_radius(), side) {
+            report(
+                &format!("fractal (D0 = {:.2})", dims.d0),
+                p,
+            );
+        }
+    }
+    println!("\n(the sampling-based predictors should be the only accurate ones)");
+}

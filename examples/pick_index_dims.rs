@@ -1,0 +1,93 @@
+//! §6.2 application: decide how many (KLT-ordered) dimensions to keep in
+//! the index when the rest live in an object server (Seidl & Kriegel's
+//! optimal multi-step k-NN setting).
+//!
+//! ```text
+//! cargo run --release --example pick_index_dims
+//! ```
+//!
+//! More indexed dimensions mean better filtering but smaller page capacity
+//! (more pages to read); the predictor exposes the trade-off without
+//! building one index per candidate dimensionality.
+
+use hdidx_repro::datagen::registry::NamedDataset;
+use hdidx_repro::datagen::workload::Workload;
+use hdidx_repro::model::{
+    hupper, predict_basic, predict_resampled, BasicParams, QueryBall, ResampledParams,
+};
+use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
+
+fn main() {
+    let data = NamedDataset::Texture60
+        .spec_scaled(0.05)
+        .generate()
+        .expect("generate");
+    // Full-space radii: the multi-step algorithm must search the index out
+    // to the full-dimensional k-NN distance.
+    let workload = Workload::density_biased(&data, 80, 21, 8).expect("workload");
+    let m = 1_500;
+
+    println!("index dims -> predicted index page accesses per 21-NN query");
+    let mut best = (0usize, f64::INFINITY);
+    for dims in [5usize, 10, 20, 30, 45, 60] {
+        let proj = data.project_prefix(dims).expect("project");
+        let topo = match Topology::new(dims, proj.len(), &PageConfig::DEFAULT) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("  {dims:>2} dims: skipped ({e})");
+                continue;
+            }
+        };
+        let balls: Vec<QueryBall> = workload
+            .queries
+            .iter()
+            .map(|q| QueryBall::new(q.center[..dims].to_vec(), q.radius))
+            .collect();
+        // Phase-based prediction; flat trees (few dims => huge page
+        // capacity) fall back to the §3 basic mini-index.
+        let prediction = hupper::recommended_h_upper(&topo, m)
+            .and_then(|h| {
+                predict_resampled(
+                    &proj,
+                    &topo,
+                    &balls,
+                    &ResampledParams {
+                        m,
+                        h_upper: h,
+                        seed: 9,
+                    },
+                )
+                .map(|p| p.prediction)
+            })
+            .or_else(|_| {
+                predict_basic(
+                    &proj,
+                    &topo,
+                    &balls,
+                    &BasicParams {
+                        zeta: (m as f64 / proj.len() as f64).min(1.0),
+                        compensate: true,
+                        seed: 9,
+                    },
+                )
+            });
+        match prediction {
+            Ok(p) => {
+                let acc = p.avg_leaf_accesses();
+                println!(
+                    "  {dims:>2} dims: {acc:>7.1} accesses across {:>5} pages",
+                    topo.leaf_pages()
+                );
+                if acc < best.1 {
+                    best = (dims, acc);
+                }
+            }
+            Err(e) => println!("  {dims:>2} dims: prediction failed ({e})"),
+        }
+    }
+    println!(
+        "\nfewest predicted index accesses at {} indexed dimensions \
+         (combine with object-server cost to pick the deployment point)",
+        best.0
+    );
+}

@@ -1,0 +1,99 @@
+//! Quickstart: predict the I/O cost of a VAMSplit R*-tree **without
+//! building it on disk**.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The flow is the paper's end-to-end pipeline:
+//! 1. a clustered high-dimensional dataset (stand-in for your feature file),
+//! 2. the topology the on-disk index *would* have,
+//! 3. a density-biased 21-NN workload with exact radii,
+//! 4. the resampled predictor under a 2,000-point memory budget,
+//! 5. ground truth from actually building the index, for comparison.
+
+use hdidx_repro::datagen::clustered::{ClusteredSpec, Tail};
+use hdidx_repro::datagen::workload::Workload;
+use hdidx_repro::diskio::external::ExternalConfig;
+use hdidx_repro::diskio::measure::measure_on_disk;
+use hdidx_repro::diskio::DiskModel;
+use hdidx_repro::model::{hupper, predict_resampled, QueryBall, ResampledParams};
+use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
+
+fn main() {
+    // 1. A 20,000-point, 32-dimensional clustered dataset.
+    let data = ClusteredSpec {
+        n: 20_000,
+        dim: 32,
+        n_clusters: 15,
+        decay: 0.06,
+        spread: 0.5,
+        tail: Tail::Uniform,
+        seed: 7,
+    }
+    .generate()
+    .expect("generate");
+
+    // 2. The index shape: 8 KB pages fix the capacities and the height.
+    let topo = Topology::new(data.dim(), data.len(), &PageConfig::DEFAULT).expect("topology");
+    println!(
+        "index topology: height {}, {} leaf pages ({} points/page, fanout {})",
+        topo.height(),
+        topo.leaf_pages(),
+        topo.cap_data(),
+        topo.cap_dir()
+    );
+
+    // 3. 100 density-biased 21-NN queries with exact radii.
+    let workload = Workload::density_biased(&data, 100, 21, 1).expect("workload");
+    let balls: Vec<QueryBall> = workload
+        .queries
+        .iter()
+        .map(|q| QueryBall::new(q.center.clone(), q.radius))
+        .collect();
+
+    // 4. Predict under a 2,000-point memory budget.
+    let m = 2_000;
+    let h = hupper::recommended_h_upper(&topo, m).expect("h_upper");
+    let pred = predict_resampled(
+        &data,
+        &topo,
+        &balls,
+        &ResampledParams {
+            m,
+            h_upper: h,
+            seed: 2,
+        },
+    )
+    .expect("prediction");
+    let disk = DiskModel::PAPER;
+    println!(
+        "predicted: {:.1} leaf accesses/query (h_upper = {h}, sigma_upper = {:.3}, \
+         sigma_lower = {:.3}; prediction itself cost {:.2} s of simulated I/O)",
+        pred.prediction.avg_leaf_accesses(),
+        pred.sigma_upper,
+        pred.sigma_lower,
+        disk.cost_seconds(pred.prediction.io),
+    );
+
+    // 5. Ground truth: build the index "on disk" and run the queries.
+    let centers: Vec<Vec<f32>> = workload.queries.iter().map(|q| q.center.clone()).collect();
+    let measured = measure_on_disk(
+        &data,
+        &topo,
+        &centers,
+        workload.k,
+        &ExternalConfig::with_mem_points(m),
+    )
+    .expect("measurement");
+    println!(
+        "measured:  {:.1} leaf accesses/query (building + probing cost {:.2} s of simulated I/O)",
+        measured.avg_leaf_accesses(),
+        disk.cost_seconds(measured.total_io()),
+    );
+    println!(
+        "relative error: {:+.1}%, prediction speedup: {:.0}x",
+        100.0 * pred.prediction.relative_error(measured.avg_leaf_accesses()),
+        disk.cost_seconds(measured.total_io()) / disk.cost_seconds(pred.prediction.io),
+    );
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate: re-exports for examples and integration tests.
+pub use hdidx_baselines as baselines;
+pub use hdidx_core as core;
+pub use hdidx_datagen as datagen;
+pub use hdidx_diskio as diskio;
+pub use hdidx_model as model;
+pub use hdidx_vamsplit as vamsplit;

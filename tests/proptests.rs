@@ -1,0 +1,173 @@
+//! Property-based tests over the core data structures and invariants,
+//! driving randomized datasets, topologies and queries through the whole
+//! stack.
+
+use hdidx_repro::core::rng::seeded;
+use hdidx_repro::core::{Dataset, HyperRect};
+use hdidx_repro::model::compensation::{delta, extent_shrinkage, growth_factor};
+use hdidx_repro::vamsplit::bulkload::{bulk_load, bulk_load_scaled};
+use hdidx_repro::vamsplit::query::{knn, range_query, scan_knn};
+use hdidx_repro::vamsplit::split::{partition_by_rank, rank_property_holds};
+use hdidx_repro::vamsplit::topology::Topology;
+use proptest::prelude::*;
+use rand::Rng;
+
+fn dataset_strategy(max_n: usize, max_dim: usize) -> impl Strategy<Value = Dataset> {
+    (2usize..=max_n, 1usize..=max_dim, any::<u64>()).prop_map(|(n, dim, seed)| {
+        let mut rng = seeded(seed);
+        // Mix of uniform and quantized coordinates to exercise duplicates.
+        let data: Vec<f32> = (0..n * dim)
+            .map(|_| {
+                if rng.gen_bool(0.3) {
+                    (rng.gen_range(0..8) as f32) * 0.125
+                } else {
+                    rng.gen::<f32>()
+                }
+            })
+            .collect();
+        Dataset::from_flat(dim, data).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_preserves_permutation_and_rank(
+        data in dataset_strategy(300, 4),
+        rank_frac in 0.0f64..=1.0,
+        dim_pick in any::<u16>(),
+    ) {
+        let n = data.len();
+        let dim = (dim_pick as usize) % data.dim();
+        let rank = ((n as f64) * rank_frac) as usize;
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        partition_by_rank(&data, &mut ids, dim, rank);
+        prop_assert!(rank_property_holds(&data, &ids, dim, rank));
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_load_invariants_hold_for_random_shapes(
+        data in dataset_strategy(600, 5),
+        cap_data in 2usize..12,
+        cap_dir in 2usize..8,
+    ) {
+        let topo = Topology::from_capacities(data.dim(), data.len(), cap_data, cap_dir).unwrap();
+        let tree = bulk_load(&data, &topo).unwrap();
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(tree.num_entries(), data.len());
+        prop_assert_eq!(tree.height(), topo.height());
+        // Every leaf respects the data-page capacity.
+        for leaf in tree.leaves() {
+            prop_assert!(tree.leaf_entries(leaf).len() <= cap_data);
+        }
+        // Leaves partition the points.
+        let mut all: Vec<u32> = tree.leaves().flat_map(|l| tree.leaf_entries(l).to_vec()).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..data.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tree_knn_matches_scan_knn(
+        data in dataset_strategy(400, 4),
+        k in 1usize..10,
+        qseed in any::<u64>(),
+    ) {
+        let topo = Topology::from_capacities(data.dim(), data.len(), 6, 4).unwrap();
+        let tree = bulk_load(&data, &topo).unwrap();
+        let mut rng = seeded(qseed);
+        let q: Vec<f32> = (0..data.dim()).map(|_| rng.gen::<f32>()).collect();
+        let got = knn(&tree, &data, &q, k).unwrap();
+        let expect = scan_knn(&data, &q, k).unwrap();
+        prop_assert_eq!(got.neighbors.len(), expect.len());
+        for (g, e) in got.neighbors.iter().zip(&expect) {
+            prop_assert!((g.0 - e.0).abs() < 1e-9, "{} vs {}", g.0, e.0);
+        }
+    }
+
+    #[test]
+    fn range_query_matches_filter(
+        data in dataset_strategy(300, 3),
+        radius in 0.0f64..1.5,
+        qseed in any::<u64>(),
+    ) {
+        let topo = Topology::from_capacities(data.dim(), data.len(), 5, 4).unwrap();
+        let tree = bulk_load(&data, &topo).unwrap();
+        let mut rng = seeded(qseed);
+        let q: Vec<f32> = (0..data.dim()).map(|_| rng.gen::<f32>()).collect();
+        let got = range_query(&tree, &data, &q, radius).unwrap();
+        let expect: Vec<u32> = (0..data.len() as u32)
+            .filter(|&i| data.dist2_to(i as usize, &q) <= radius * radius)
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn mini_index_entries_are_the_sample(
+        data in dataset_strategy(500, 3),
+        zeta in 0.2f64..1.0,
+        sseed in any::<u64>(),
+    ) {
+        let topo = Topology::from_capacities(data.dim(), data.len(), 8, 4).unwrap();
+        let mut rng = seeded(sseed);
+        let sample = hdidx_repro::core::rng::bernoulli_sample(&mut rng, data.len(), zeta);
+        prop_assume!(!sample.is_empty());
+        let mini = bulk_load_scaled(&data, sample.clone(), &topo, data.len() as f64).unwrap();
+        mini.check_invariants().unwrap();
+        let mut got: Vec<u32> = mini.leaves().flat_map(|l| mini.leaf_entries(l).to_vec()).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, sample);
+    }
+
+    #[test]
+    fn compensation_identities(c in 2.0f64..10_000.0, zeta in 0.0f64..=1.0) {
+        prop_assume!(c * zeta > 1.0 && zeta > 0.0 && zeta <= 1.0);
+        let s = extent_shrinkage(c, zeta).unwrap();
+        let g = growth_factor(c, zeta).unwrap();
+        // Shrinkage and growth are inverses, both positive, shrinkage <= 1.
+        prop_assert!((s * g - 1.0).abs() < 1e-12);
+        prop_assert!(s > 0.0 && s <= 1.0 + 1e-12);
+        // delta(c, zeta, d) is growth^d and monotone in d.
+        let d3 = delta(c, zeta, 3).unwrap();
+        let d6 = delta(c, zeta, 6).unwrap();
+        prop_assert!((d3 - g.powi(3)).abs() < 1e-9 * d3.max(1.0));
+        prop_assert!(d6 >= d3 - 1e-12);
+    }
+
+    #[test]
+    fn grown_rect_contains_original(
+        lo in proptest::collection::vec(-100.0f32..100.0, 1..6),
+        extent in proptest::collection::vec(0.0f32..50.0, 1..6),
+        factor in 1.0f64..5.0,
+    ) {
+        prop_assume!(lo.len() == extent.len());
+        let hi: Vec<f32> = lo.iter().zip(&extent).map(|(l, e)| l + e).collect();
+        let rect = HyperRect::new(lo.clone(), hi.clone()).unwrap();
+        let grown = rect.scaled_about_center(factor).unwrap();
+        for j in 0..lo.len() {
+            // Allow one ulp of slack from the f32 round-trip.
+            prop_assert!(grown.lo()[j] <= rect.lo()[j] + rect.lo()[j].abs() * 1e-5 + 1e-4);
+            prop_assert!(grown.hi()[j] >= rect.hi()[j] - rect.hi()[j].abs() * 1e-5 - 1e-4);
+        }
+    }
+
+    #[test]
+    fn mindist_is_a_lower_bound_on_member_distances(
+        data in dataset_strategy(120, 4),
+        qseed in any::<u64>(),
+    ) {
+        let topo = Topology::from_capacities(data.dim(), data.len(), 5, 4).unwrap();
+        let tree = bulk_load(&data, &topo).unwrap();
+        let mut rng = seeded(qseed);
+        let q: Vec<f32> = (0..data.dim()).map(|_| rng.gen::<f32>()).collect();
+        for leaf in tree.leaves() {
+            let md = leaf.rect.mindist2(&q);
+            for &id in tree.leaf_entries(leaf) {
+                prop_assert!(data.dist2_to(id as usize, &q) >= md - 1e-6);
+            }
+        }
+    }
+}
