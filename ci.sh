@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate (see ROADMAP.md). Runs fully offline: the workspace has
+# zero external crate dependencies, so no registry access is ever needed.
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo bench --no-run --offline (bench targets must compile)"
+cargo bench --no-run --offline
+
+echo "CI green."

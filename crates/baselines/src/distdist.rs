@@ -45,7 +45,10 @@ impl DistanceDistribution {
         let n = data.len();
         for _ in 0..pairs {
             let picks = sample_without_replacement(&mut rng, n, 2);
-            samples.push(data.dist2_to(picks[0] as usize, data.point(picks[1] as usize)).sqrt());
+            samples.push(
+                data.dist2_to(picks[0] as usize, data.point(picks[1] as usize))
+                    .sqrt(),
+            );
         }
         samples.sort_by(f64::total_cmp);
         Ok(DistanceDistribution { samples })
@@ -74,9 +77,9 @@ pub fn predict_ball_pages(dist: &DistanceDistribution, pages: &[Sphere], r_q: f6
 mod tests {
     use super::*;
     use hdidx_core::rng::seeded as seed_rng;
+    use hdidx_core::rng::Rng;
     use hdidx_vamsplit::sstree::SsLeafLayout;
     use hdidx_vamsplit::topology::Topology;
-    use rand::Rng;
 
     fn uniform_data(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seed_rng(seed);

@@ -178,7 +178,7 @@ impl GridHistogram {
 mod tests {
     use super::*;
     use hdidx_core::rng::seeded;
-    use rand::Rng;
+    use hdidx_core::rng::Rng;
 
     fn uniform_data(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seeded(seed);

@@ -65,10 +65,7 @@ pub fn predict_uniform(topo: &Topology, k: usize) -> Result<f64> {
     let extents = page_extents(pages, d);
     // Minkowski-sum access probability, clamped per dimension by the data
     // space bounds.
-    let ln_prob: f64 = extents
-        .iter()
-        .map(|&a| (a + 2.0 * r).min(1.0).ln())
-        .sum();
+    let ln_prob: f64 = extents.iter().map(|&a| (a + 2.0 * r).min(1.0).ln()).sum();
     Ok(pages as f64 * ln_prob.exp())
 }
 

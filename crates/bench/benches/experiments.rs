@@ -1,11 +1,12 @@
-//! One Criterion group per paper table/figure: each benchmark times a
+//! One benchmark group per paper table/figure: each benchmark times a
 //! scaled-down end-to-end run of the corresponding experiment pipeline, so
 //! `cargo bench` exercises every reproduction path. The full-size
 //! experiments (with the printed tables) live in the `src/bin` binaries.
+//! Results land in `BENCH_experiments.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hdidx_baselines::fractal::estimate_fractal_dims;
 use hdidx_baselines::uniform::predict_uniform;
+use hdidx_check::bench::{black_box, BenchSuite};
 use hdidx_datagen::registry::NamedDataset;
 use hdidx_datagen::workload::Workload;
 use hdidx_diskio::external::{build_on_disk, ExternalConfig};
@@ -38,150 +39,132 @@ fn ctx(ds: NamedDataset, scale: f64, q: usize) -> Ctx {
     Ctx { data, topo, balls }
 }
 
-fn fig02_basic_model(c: &mut Criterion) {
+fn fig02_basic_model(suite: &mut BenchSuite) {
     let ctx = ctx(NamedDataset::Color64, 0.05, 20);
-    c.bench_function("fig02/basic_model_color64", |b| {
-        b.iter(|| {
-            predict_basic(
-                black_box(&ctx.data),
-                &ctx.topo,
-                &ctx.balls,
-                &BasicParams {
-                    zeta: 0.2,
-                    compensate: true,
-                    seed: 1,
-                },
-            )
-            .unwrap()
-        });
+    suite.bench("fig02/basic_model_color64", || {
+        predict_basic(
+            black_box(&ctx.data),
+            &ctx.topo,
+            &ctx.balls,
+            &BasicParams {
+                zeta: 0.2,
+                compensate: true,
+                seed: 1,
+            },
+        )
+        .unwrap()
     });
 }
 
-fn fig09_10_analytic_costs(c: &mut Criterion) {
-    c.bench_function("fig09_10/analytic_cost_sweep", |b| {
-        b.iter(|| {
-            let mut total = 0.0f64;
-            for m in [1_000usize, 10_000, 100_000] {
-                let topo = Topology::from_capacities(60, 1_000_000, 33, 16).unwrap();
-                let ci = CostInputs::new(topo, m, 500);
-                total += ci.seconds(ci.on_disk_build());
-                total += ci.seconds(ci.cutoff());
-                if let Ok((_, io)) = ci.resampled_recommended() {
-                    total += ci.seconds(io);
-                }
+fn fig09_10_analytic_costs(suite: &mut BenchSuite) {
+    suite.bench("fig09_10/analytic_cost_sweep", || {
+        let mut total = 0.0f64;
+        for m in [1_000usize, 10_000, 100_000] {
+            let topo = Topology::from_capacities(60, 1_000_000, 33, 16).unwrap();
+            let ci = CostInputs::new(topo, m, 500);
+            total += ci.seconds(ci.on_disk_build());
+            total += ci.seconds(ci.cutoff());
+            if let Ok((_, io)) = ci.resampled_recommended() {
+                total += ci.seconds(io);
             }
-            black_box(total)
-        });
+        }
+        black_box(total)
     });
 }
 
-fn table3_phase_predictors(c: &mut Criterion) {
+fn table3_phase_predictors(suite: &mut BenchSuite) {
     let ctx = ctx(NamedDataset::Texture60, 0.04, 20);
     let m = 1_000;
-    let mut g = c.benchmark_group("table3");
-    g.sample_size(15);
-    g.bench_function("resampled_texture60", |b| {
-        b.iter(|| {
-            predict_resampled(
-                black_box(&ctx.data),
-                &ctx.topo,
-                &ctx.balls,
-                &ResampledParams {
-                    m,
-                    h_upper: 2,
-                    seed: 1,
-                },
-            )
-            .unwrap()
-        });
+    suite.bench("table3/resampled_texture60", || {
+        predict_resampled(
+            black_box(&ctx.data),
+            &ctx.topo,
+            &ctx.balls,
+            &ResampledParams {
+                m,
+                h_upper: 2,
+                seed: 1,
+            },
+        )
+        .unwrap()
     });
-    g.bench_function("cutoff_texture60", |b| {
-        b.iter(|| {
-            predict_cutoff(
-                black_box(&ctx.data),
-                &ctx.topo,
-                &ctx.balls,
-                &CutoffParams {
-                    m,
-                    h_upper: 2,
-                    seed: 1,
-                },
-            )
-            .unwrap()
-        });
+    suite.bench("table3/cutoff_texture60", || {
+        predict_cutoff(
+            black_box(&ctx.data),
+            &ctx.topo,
+            &ctx.balls,
+            &CutoffParams {
+                m,
+                h_upper: 2,
+                seed: 1,
+            },
+        )
+        .unwrap()
     });
-    g.bench_function("ondisk_build_texture60", |b| {
-        b.iter(|| {
-            build_on_disk(
-                black_box(&ctx.data),
-                &ctx.topo,
-                &ExternalConfig::with_mem_points(m),
-            )
-            .unwrap()
-        });
+    suite.bench("table3/ondisk_build_texture60", || {
+        build_on_disk(
+            black_box(&ctx.data),
+            &ctx.topo,
+            &ExternalConfig::with_mem_points(m),
+        )
+        .unwrap()
     });
-    g.finish();
 }
 
-fn table4_baselines(c: &mut Criterion) {
+fn table4_baselines(suite: &mut BenchSuite) {
     let ctx = ctx(NamedDataset::Texture60, 0.04, 10);
-    c.bench_function("table4/uniform_model", |b| {
-        b.iter(|| predict_uniform(black_box(&ctx.topo), 21).unwrap());
+    suite.bench("table4/uniform_model", || {
+        predict_uniform(black_box(&ctx.topo), 21).unwrap()
     });
-    c.bench_function("table4/fractal_estimation", |b| {
-        b.iter(|| estimate_fractal_dims(black_box(&ctx.data), 5).unwrap());
+    suite.bench("table4/fractal_estimation", || {
+        estimate_fractal_dims(black_box(&ctx.data), 5).unwrap()
     });
 }
 
-fn fig13_14_applications(c: &mut Criterion) {
+fn fig13_14_applications(suite: &mut BenchSuite) {
     let ctx = ctx(NamedDataset::Texture60, 0.04, 10);
-    c.bench_function("fig13/page_size_point", |b| {
-        b.iter(|| {
-            let topo =
-                Topology::new(60, ctx.data.len(), &PageConfig::with_page_bytes(32_768)).unwrap();
-            predict_resampled(
-                black_box(&ctx.data),
-                &topo,
-                &ctx.balls,
-                &ResampledParams {
-                    m: 1_000,
-                    h_upper: 2,
-                    seed: 1,
-                },
-            )
-            .unwrap()
-        });
+    suite.bench("fig13/page_size_point", || {
+        let topo = Topology::new(60, ctx.data.len(), &PageConfig::with_page_bytes(32_768)).unwrap();
+        predict_resampled(
+            black_box(&ctx.data),
+            &topo,
+            &ctx.balls,
+            &ResampledParams {
+                m: 1_000,
+                h_upper: 2,
+                seed: 1,
+            },
+        )
+        .unwrap()
     });
-    c.bench_function("fig14/projected_dims_point", |b| {
-        b.iter(|| {
-            let proj = ctx.data.project_prefix(20).unwrap();
-            let topo = Topology::new(20, proj.len(), &PageConfig::DEFAULT).unwrap();
-            let balls: Vec<QueryBall> = ctx
-                .balls
-                .iter()
-                .map(|q| QueryBall::new(q.center[..20].to_vec(), q.radius))
-                .collect();
-            predict_resampled(
-                black_box(&proj),
-                &topo,
-                &balls,
-                &ResampledParams {
-                    m: 1_000,
-                    h_upper: 2,
-                    seed: 1,
-                },
-            )
-            .unwrap()
-        });
+    suite.bench("fig14/projected_dims_point", || {
+        let proj = ctx.data.project_prefix(20).unwrap();
+        let topo = Topology::new(20, proj.len(), &PageConfig::DEFAULT).unwrap();
+        let balls: Vec<QueryBall> = ctx
+            .balls
+            .iter()
+            .map(|q| QueryBall::new(q.center[..20].to_vec(), q.radius))
+            .collect();
+        predict_resampled(
+            black_box(&proj),
+            &topo,
+            &balls,
+            &ResampledParams {
+                m: 1_000,
+                h_upper: 2,
+                seed: 1,
+            },
+        )
+        .unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    fig02_basic_model,
-    fig09_10_analytic_costs,
-    table3_phase_predictors,
-    table4_baselines,
-    fig13_14_applications
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = BenchSuite::new("experiments");
+    fig02_basic_model(&mut suite);
+    fig09_10_analytic_costs(&mut suite);
+    table3_phase_predictors(&mut suite);
+    table4_baselines(&mut suite);
+    fig13_14_applications(&mut suite);
+    suite.finish();
+}

@@ -1,96 +1,109 @@
-//! Criterion micro-benchmarks for the hot kernels underneath every
-//! experiment: quickselect partitioning, bulk loading, k-NN search,
+//! Micro-benchmarks for the hot kernels underneath every experiment:
+//! MINDIST, quickselect partitioning, bulk loading, k-NN search,
 //! sphere/leaf intersection counting, and the fractal estimator.
+//!
+//! Runs on the workspace's own `hdidx-check` bench runner; results are
+//! printed and written to `BENCH_kernels.json` (one JSON object per
+//! kernel: median/p95/min/mean ns and throughput).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use hdidx_core::rng::seeded;
+use hdidx_check::bench::{black_box, BenchSuite};
+use hdidx_core::rng::{seeded, Rng};
 use hdidx_core::Dataset;
 use hdidx_vamsplit::bulkload::bulk_load;
 use hdidx_vamsplit::kdtree::bulk_load_midsplit;
 use hdidx_vamsplit::query::{count_sphere_intersections, knn, scan_knn};
 use hdidx_vamsplit::split::partition_by_rank;
-use hdidx_vamsplit::topology::Topology;
-use rand::Rng;
+use hdidx_vamsplit::topology::{PageConfig, Topology};
 
 fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
     let mut rng = seeded(seed);
     Dataset::from_flat(dim, (0..n * dim).map(|_| rng.gen::<f32>()).collect()).unwrap()
 }
 
-fn bench_partition(c: &mut Criterion) {
-    let mut g = c.benchmark_group("partition_by_rank");
+fn bench_mindist(suite: &mut BenchSuite) {
+    let data = random_dataset(50_000, 60, 7);
+    let topo = Topology::new(60, 50_000, &PageConfig::DEFAULT).unwrap();
+    let tree = bulk_load(&data, &topo).unwrap();
+    let rects = tree.leaf_rects();
+    let q = data.point(3).to_vec();
+    suite.bench(&format!("mindist2/{}x60", rects.len()), || {
+        rects.iter().map(|r| black_box(r.mindist2(&q))).sum::<f64>()
+    });
+}
+
+fn bench_partition(suite: &mut BenchSuite) {
     for &n in &[1_000usize, 10_000, 100_000] {
         let data = random_dataset(n, 16, 1);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let ids: Vec<u32> = (0..n as u32).collect();
-            b.iter_batched(
-                || ids.clone(),
-                |mut ids| partition_by_rank(&data, black_box(&mut ids), 3, n / 2),
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        let ids: Vec<u32> = (0..n as u32).collect();
+        suite.bench_with_setup(
+            &format!("partition_by_rank/{n}"),
+            || ids.clone(),
+            |mut ids| {
+                partition_by_rank(&data, black_box(&mut ids), 3, n / 2);
+                ids
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_bulk_load(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bulk_load");
+fn bench_bulk_load(suite: &mut BenchSuite) {
     for &(n, dim) in &[(10_000usize, 16usize), (10_000, 60), (50_000, 16)] {
         let data = random_dataset(n, dim, 2);
-        let topo = Topology::new(dim, n, &hdidx_vamsplit::topology::PageConfig::DEFAULT).unwrap();
-        g.bench_function(BenchmarkId::from_parameter(format!("{n}x{dim}")), |b| {
-            b.iter(|| bulk_load(black_box(&data), &topo).unwrap());
+        let topo = Topology::new(dim, n, &PageConfig::DEFAULT).unwrap();
+        suite.bench(&format!("bulk_load/{n}x{dim}"), || {
+            bulk_load(black_box(&data), &topo).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_midsplit(c: &mut Criterion) {
+fn bench_midsplit(suite: &mut BenchSuite) {
     let data = random_dataset(20_000, 16, 3);
-    let topo = Topology::new(16, 20_000, &hdidx_vamsplit::topology::PageConfig::DEFAULT).unwrap();
-    c.bench_function("bulk_load_midsplit/20000x16", |b| {
-        b.iter(|| bulk_load_midsplit(black_box(&data), &topo).unwrap());
+    let topo = Topology::new(16, 20_000, &PageConfig::DEFAULT).unwrap();
+    suite.bench("bulk_load_midsplit/20000x16", || {
+        bulk_load_midsplit(black_box(&data), &topo).unwrap()
     });
 }
 
-fn bench_knn(c: &mut Criterion) {
+fn bench_knn(suite: &mut BenchSuite) {
     let data = random_dataset(50_000, 16, 4);
-    let topo = Topology::new(16, 50_000, &hdidx_vamsplit::topology::PageConfig::DEFAULT).unwrap();
+    let topo = Topology::new(16, 50_000, &PageConfig::DEFAULT).unwrap();
     let tree = bulk_load(&data, &topo).unwrap();
     let q: Vec<f32> = data.point(17).to_vec();
-    c.bench_function("knn_tree/50000x16/k21", |b| {
-        b.iter(|| knn(black_box(&tree), &data, &q, 21).unwrap());
+    suite.bench("knn_tree/50000x16/k21", || {
+        knn(black_box(&tree), &data, &q, 21).unwrap()
     });
-    c.bench_function("knn_scan/50000x16/k21", |b| {
-        b.iter(|| scan_knn(black_box(&data), &q, 21).unwrap());
+    suite.bench("knn_scan/50000x16/k21", || {
+        scan_knn(black_box(&data), &q, 21).unwrap()
     });
 }
 
-fn bench_intersections(c: &mut Criterion) {
+fn bench_intersections(suite: &mut BenchSuite) {
     let data = random_dataset(100_000, 60, 5);
-    let topo = Topology::new(60, 100_000, &hdidx_vamsplit::topology::PageConfig::DEFAULT).unwrap();
+    let topo = Topology::new(60, 100_000, &PageConfig::DEFAULT).unwrap();
     let tree = bulk_load(&data, &topo).unwrap();
     let pages = tree.leaf_rects();
     let q = data.point(9).to_vec();
-    c.bench_function("count_sphere_intersections/3031x60", |b| {
-        b.iter(|| count_sphere_intersections(black_box(&pages), &q, 0.5));
-    });
+    suite.bench(
+        &format!("count_sphere_intersections/{}x60", pages.len()),
+        || count_sphere_intersections(black_box(&pages), &q, 0.5),
+    );
 }
 
-fn bench_fractal(c: &mut Criterion) {
+fn bench_fractal(suite: &mut BenchSuite) {
     let data = random_dataset(20_000, 16, 6);
-    c.bench_function("fractal_dims/20000x16/6levels", |b| {
-        b.iter(|| hdidx_baselines::fractal::estimate_fractal_dims(black_box(&data), 6).unwrap());
+    suite.bench("fractal_dims/20000x16/6levels", || {
+        hdidx_baselines::fractal::estimate_fractal_dims(black_box(&data), 6).unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_partition,
-    bench_bulk_load,
-    bench_midsplit,
-    bench_knn,
-    bench_intersections,
-    bench_fractal
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = BenchSuite::new("kernels");
+    bench_mindist(&mut suite);
+    bench_partition(&mut suite);
+    bench_bulk_load(&mut suite);
+    bench_midsplit(&mut suite);
+    bench_knn(&mut suite);
+    bench_intersections(&mut suite);
+    bench_fractal(&mut suite);
+    suite.finish();
+}

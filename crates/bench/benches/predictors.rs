@@ -1,9 +1,9 @@
-//! Criterion benchmarks of the prediction pipelines themselves (compute
-//! time, not simulated I/O): basic vs cutoff vs resampled on a clustered
-//! dataset, plus the Theorem-1 arithmetic and ablations of the resampled
-//! design choices.
+//! Benchmarks of the prediction pipelines themselves (compute time, not
+//! simulated I/O): basic vs cutoff vs resampled on a clustered dataset,
+//! plus the Theorem-1 arithmetic and ablations of the resampled design
+//! choices. Results land in `BENCH_predictors.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdidx_check::bench::{black_box, BenchSuite};
 use hdidx_datagen::clustered::{ClusteredSpec, Tail};
 use hdidx_model::compensation::{delta, growth_factor};
 use hdidx_model::{
@@ -34,101 +34,85 @@ fn setup() -> (hdidx_core::Dataset, Topology, Vec<QueryBall>) {
     (data, topo, balls)
 }
 
-fn bench_predictors(c: &mut Criterion) {
+fn bench_predictors(suite: &mut BenchSuite) {
     let (data, topo, balls) = setup();
-    let mut g = c.benchmark_group("predictors_30000x32");
-    g.sample_size(20);
-    g.bench_function("basic_zeta10", |b| {
-        b.iter(|| {
-            predict_basic(
-                black_box(&data),
-                &topo,
-                &balls,
-                &BasicParams {
-                    zeta: 0.1,
-                    compensate: true,
-                    seed: 1,
-                },
-            )
-            .unwrap()
-        });
+    suite.bench("predictors_30000x32/basic_zeta10", || {
+        predict_basic(
+            black_box(&data),
+            &topo,
+            &balls,
+            &BasicParams {
+                zeta: 0.1,
+                compensate: true,
+                seed: 1,
+            },
+        )
+        .unwrap()
     });
-    g.bench_function("cutoff_h2", |b| {
-        b.iter(|| {
-            predict_cutoff(
-                black_box(&data),
-                &topo,
-                &balls,
-                &CutoffParams {
-                    m: 3_000,
-                    h_upper: 2,
-                    seed: 1,
-                },
-            )
-            .unwrap()
-        });
+    suite.bench("predictors_30000x32/cutoff_h2", || {
+        predict_cutoff(
+            black_box(&data),
+            &topo,
+            &balls,
+            &CutoffParams {
+                m: 3_000,
+                h_upper: 2,
+                seed: 1,
+            },
+        )
+        .unwrap()
     });
-    g.bench_function("resampled_h2", |b| {
-        b.iter(|| {
+    suite.bench("predictors_30000x32/resampled_h2", || {
+        predict_resampled(
+            black_box(&data),
+            &topo,
+            &balls,
+            &ResampledParams {
+                m: 3_000,
+                h_upper: 2,
+                seed: 1,
+            },
+        )
+        .unwrap()
+    });
+}
+
+fn bench_compensation(suite: &mut BenchSuite) {
+    for &d in &[8usize, 64, 617] {
+        suite.bench(&format!("compensation/delta/{d}"), || {
+            delta(black_box(33.0), black_box(0.1), d).unwrap()
+        });
+    }
+    suite.bench("compensation/growth_factor", || {
+        growth_factor(black_box(8448.0), black_box(0.0363)).unwrap()
+    });
+}
+
+/// Ablation: how much of the resampled predictor's wall time the upper
+/// tree height costs (more areas, more lower trees).
+fn bench_resampled_h_sweep(suite: &mut BenchSuite) {
+    let (data, topo, balls) = setup();
+    for h in 2..topo.height() {
+        suite.bench(&format!("resampled_h_sweep/{h}"), || {
             predict_resampled(
                 black_box(&data),
                 &topo,
                 &balls,
                 &ResampledParams {
                     m: 3_000,
-                    h_upper: 2,
+                    h_upper: h,
                     seed: 1,
                 },
             )
             .unwrap()
         });
-    });
-    g.finish();
-}
-
-fn bench_compensation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compensation");
-    for &d in &[8usize, 64, 617] {
-        g.bench_with_input(BenchmarkId::new("delta", d), &d, |b, &d| {
-            b.iter(|| delta(black_box(33.0), black_box(0.1), d).unwrap());
-        });
     }
-    g.bench_function("growth_factor", |b| {
-        b.iter(|| growth_factor(black_box(8448.0), black_box(0.0363)).unwrap());
-    });
-    g.finish();
 }
 
-/// Ablation: how much of the resampled predictor's wall time the upper
-/// tree height costs (more areas, more lower trees).
-fn bench_resampled_h_sweep(c: &mut Criterion) {
-    let (data, topo, balls) = setup();
-    let mut g = c.benchmark_group("resampled_h_sweep");
-    g.sample_size(15);
-    for h in 2..topo.height() {
-        g.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
-            b.iter(|| {
-                predict_resampled(
-                    black_box(&data),
-                    &topo,
-                    &balls,
-                    &ResampledParams {
-                        m: 3_000,
-                        h_upper: h,
-                        seed: 1,
-                    },
-                )
-                .unwrap()
-            });
-        });
-    }
-    g.finish();
+fn main() {
+    let mut suite = BenchSuite::new("predictors");
+    bench_predictors(&mut suite);
+    bench_compensation(&mut suite);
+    bench_resampled_h_sweep(&mut suite);
+    suite.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_predictors,
-    bench_compensation,
-    bench_resampled_h_sweep
-);
-criterion_main!(benches);

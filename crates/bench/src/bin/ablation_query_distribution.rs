@@ -10,10 +10,10 @@ use hdidx_bench::table::{pct, Table};
 use hdidx_bench::{ExpArgs, ExperimentContext};
 use hdidx_core::knn::scan_knn_radius;
 use hdidx_core::rng::seeded;
+use hdidx_core::rng::Rng;
 use hdidx_datagen::registry::NamedDataset;
 use hdidx_model::{hupper, predict_resampled, QueryBall, ResampledParams};
 use hdidx_vamsplit::query::count_sphere_intersections;
-use rand::Rng;
 
 fn main() {
     let args = ExpArgs::parse(0.25, 100);

@@ -30,7 +30,11 @@ const BINARIES: &[&str] = &[
 /// Binaries whose dataset size must not be scaled down: the §5.2 uniform
 /// check needs the paper's 100,000 points (its error bound is an absolute
 /// claim), and the analytic figures take no data at all.
-const UNSCALED: &[&str] = &["uniform8d_sanity", "fig09_cost_vs_memory", "fig10_cost_vs_dim"];
+const UNSCALED: &[&str] = &[
+    "uniform8d_sanity",
+    "fig09_cost_vs_memory",
+    "fig10_cost_vs_dim",
+];
 
 fn main() {
     let forwarded: Vec<String> = std::env::args().skip(1).collect();

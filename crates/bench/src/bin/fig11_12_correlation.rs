@@ -80,8 +80,7 @@ fn main() {
                     label.into(),
                     format!("{r:.3}"),
                     hdidx_bench::table::pct(
-                        p.prediction
-                            .relative_error(measured.avg_leaf_accesses()),
+                        p.prediction.relative_error(measured.avg_leaf_accesses()),
                     ),
                 ]);
             }
@@ -105,10 +104,7 @@ fn main() {
         summary.row(vec![
             "Cutoff (M=10k-scaled, h_upper=3)".into(),
             format!("{:.3}", pearson(&measured_f, &pred)),
-            hdidx_bench::table::pct(
-                p.prediction
-                    .relative_error(measured.avg_leaf_accesses()),
-            ),
+            hdidx_bench::table::pct(p.prediction.relative_error(measured.avg_leaf_accesses())),
         ]);
     }
 

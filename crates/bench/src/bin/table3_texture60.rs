@@ -45,10 +45,7 @@ fn main() {
     table.row(vec![
         "On-disk".into(),
         "0%".into(),
-        format!(
-            "{} + {}",
-            measured.build_io.seeks, measured.query_io.seeks
-        ),
+        format!("{} + {}", measured.build_io.seeks, measured.query_io.seeks),
         format!(
             "{} + {}",
             measured.build_io.transfers, measured.query_io.transfers

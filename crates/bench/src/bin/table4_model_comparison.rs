@@ -7,11 +7,11 @@
 //! Paper's numbers (full scale): uniform 8,641 pages (+1,169 %), fractal
 //! 5,892 (+765 %), resampled 701 (+3 %) against 681 measured.
 
-use hdidx_bench::table::{pct, Table};
-use hdidx_bench::{ExpArgs, ExperimentContext};
 use hdidx_baselines::fractal::{estimate_fractal_dims, predict_fractal};
 use hdidx_baselines::histogram::GridHistogram;
 use hdidx_baselines::uniform::{predict_uniform, split_dimensions};
+use hdidx_bench::table::{pct, Table};
+use hdidx_bench::{ExpArgs, ExperimentContext};
 use hdidx_datagen::registry::NamedDataset;
 use hdidx_model::{hupper, predict_resampled, ResampledParams};
 
@@ -123,20 +123,19 @@ fn run_dataset(ds: NamedDataset, args: &ExpArgs, m_paper: f64) {
     }
 
     // Resampled at the recommended h_upper.
-    match hupper::recommended_h_upper(&ctx.topo, m)
-        .and_then(|h| {
-            predict_resampled(
-                &ctx.data,
-                &ctx.topo,
-                &ctx.balls,
-                &ResampledParams {
-                    m,
-                    h_upper: h,
-                    seed: args.seed,
-                },
-            )
-            .map(|p| (h, p))
-        }) {
+    match hupper::recommended_h_upper(&ctx.topo, m).and_then(|h| {
+        predict_resampled(
+            &ctx.data,
+            &ctx.topo,
+            &ctx.balls,
+            &ResampledParams {
+                m,
+                h_upper: h,
+                seed: args.seed,
+            },
+        )
+        .map(|p| (h, p))
+    }) {
         Ok((h, p)) => {
             table.row(vec![
                 format!("Resampled (h_upper={h})"),

@@ -74,9 +74,7 @@ fn main() {
     ]);
     table.row(vec![
         "VA-file (6 bits/dim, measured)".into(),
-        format!(
-            "{scan_pages} sequential approximation pages + {visited_avg:.1} random visits"
-        ),
+        format!("{scan_pages} sequential approximation pages + {visited_avg:.1} random visits"),
         format!(
             "{:.3}",
             disk.t_seek_s

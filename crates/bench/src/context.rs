@@ -1,13 +1,13 @@
 //! Prepared experiment state: dataset + topology + workload + ground truth.
 
 use crate::args::ExpArgs;
+use hdidx_core::{Dataset, Result};
 use hdidx_datagen::registry::NamedDataset;
 use hdidx_datagen::workload::Workload;
 use hdidx_diskio::external::ExternalConfig;
 use hdidx_diskio::measure::{measure_on_disk, OnDiskMeasurement};
 use hdidx_model::QueryBall;
 use hdidx_vamsplit::topology::{PageConfig, Topology};
-use hdidx_core::{Dataset, Result};
 
 /// A fully prepared experiment: the generated dataset, the index topology,
 /// the density-biased workload with exact radii, and the query balls every
@@ -71,7 +71,12 @@ impl ExperimentContext {
     ///
     /// Propagates build/query errors.
     pub fn measure(&self, m: usize) -> Result<OnDiskMeasurement> {
-        let centers: Vec<Vec<f32>> = self.workload.queries.iter().map(|q| q.center.clone()).collect();
+        let centers: Vec<Vec<f32>> = self
+            .workload
+            .queries
+            .iter()
+            .map(|q| q.center.clone())
+            .collect();
         measure_on_disk(
             &self.data,
             &self.topo,

@@ -1,0 +1,195 @@
+//! Input shrinking for failing property-test cases.
+//!
+//! The harness is minimal by design: a [`Shrink`] implementation proposes
+//! a bounded list of strictly "smaller" candidates, and the runner
+//! greedily walks to a fixed point (first candidate that still fails
+//! wins, repeat). Scalars shrink toward zero, `Vec<f32>` shrinks by
+//! halving and element removal, and tuples shrink one component at a
+//! time — enough to turn a 600-point failing dataset spec into the
+//! 2-point one you can actually debug.
+//!
+//! Shrunk candidates can fall outside the range the generator drew from
+//! (e.g. `n in 2..300` shrinking to 0). Properties guard against that
+//! with `prop_assume!`: a discarded candidate is simply not "still
+//! failing", so the shrinker backs off instead of reporting an
+//! out-of-domain minimum.
+
+/// Types whose failing values can propose smaller variants of themselves.
+pub trait Shrink: Sized {
+    /// Returns a bounded list of candidates strictly simpler than `self`.
+    /// An empty list means `self` is already minimal.
+    fn shrink(&self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2, v - 1];
+                out.dedup();
+                out.retain(|&c| c != v);
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_shrink_sint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2, v - v.signum()];
+                if v < 0 {
+                    out.push(-v); // prefer the positive mirror if it fails too
+                }
+                out.dedup();
+                out.retain(|&c| c != v);
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_sint!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_shrink_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0.0 || v.is_nan() {
+                    return Vec::new();
+                }
+                let mut out = vec![0.0, v / 2.0, v.trunc()];
+                if v < 0.0 {
+                    out.push(-v);
+                }
+                out.retain(|&c| c != v && !c.is_nan());
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_float!(f32, f64);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Structural shrinks first: halves, then single-element removals.
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+        } else {
+            out.push(Vec::new());
+        }
+        for i in 0..n.min(8) {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        // Element-wise shrinks on a bounded prefix.
+        for i in 0..n.min(8) {
+            for cand in self[i].shrink().into_iter().take(2) {
+                let mut v = self.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink() {
+                        let mut t = self.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_shrink_toward_zero_and_terminate() {
+        let mut v = 1_000_000usize;
+        let mut steps = 0;
+        while let Some(&next) = v.shrink().first() {
+            assert!(next < v);
+            v = next;
+            steps += 1;
+            assert!(steps < 100, "non-terminating shrink");
+        }
+        assert_eq!(v, 0);
+        assert!(0usize.shrink().is_empty());
+        assert!(0.0f64.shrink().is_empty());
+        assert!(f64::NAN.shrink().is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_produces_strictly_simpler_candidates() {
+        let v: Vec<f32> = vec![3.5, -1.0, 8.0, 0.0];
+        for cand in v.shrink() {
+            assert!(
+                cand.len() < v.len() || cand != v,
+                "candidate equals input: {cand:?}"
+            );
+        }
+        assert!(Vec::<f32>::new().shrink().is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component() {
+        let t = (4usize, 2.0f64);
+        for (a, b) in t.shrink() {
+            assert!(a != t.0 || b != t.1);
+            assert!(a == t.0 || b == t.1, "both components changed");
+        }
+    }
+}

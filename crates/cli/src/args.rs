@@ -349,8 +349,10 @@ mod tests {
 
     #[test]
     fn parses_generate_and_measure() {
-        let cli = Cli::parse(&argv("generate --dataset texture60 --scale 0.1 --out o.csv"))
-            .unwrap();
+        let cli = Cli::parse(&argv(
+            "generate --dataset texture60 --scale 0.1 --out o.csv",
+        ))
+        .unwrap();
         assert_eq!(
             cli.command,
             Command::Generate {

@@ -85,7 +85,12 @@ fn load(data: &Path, page_bytes: usize) -> Result<(Dataset, Topology), String> {
 fn info(data: &Path, page_bytes: usize) -> Result<String, String> {
     let (dataset, topo) = load(data, page_bytes)?;
     let mut out = String::new();
-    let _ = writeln!(out, "dataset: {} points x {} dims", dataset.len(), dataset.dim());
+    let _ = writeln!(
+        out,
+        "dataset: {} points x {} dims",
+        dataset.len(),
+        dataset.dim()
+    );
     let _ = writeln!(out, "page size: {page_bytes} bytes");
     let _ = writeln!(
         out,
@@ -182,8 +187,17 @@ fn predict(
                 Some(h) => h,
                 None => hupper::recommended_h_upper(&topo, m).map_err(|e| e.to_string())?,
             };
-            let p = predict_cutoff(&dataset, &topo, &balls, &CutoffParams { m, h_upper: h, seed })
-                .map_err(|e| e.to_string())?;
+            let p = predict_cutoff(
+                &dataset,
+                &topo,
+                &balls,
+                &CutoffParams {
+                    m,
+                    h_upper: h,
+                    seed,
+                },
+            )
+            .map_err(|e| e.to_string())?;
             (format!("cutoff (h_upper = {h})"), p.prediction)
         }
         Method::Resampled => {
@@ -195,7 +209,11 @@ fn predict(
                 &dataset,
                 &topo,
                 &balls,
-                &ResampledParams { m, h_upper: h, seed },
+                &ResampledParams {
+                    m,
+                    h_upper: h,
+                    seed,
+                },
             )
             .map_err(|e| e.to_string())?;
             let _ = writeln!(
@@ -337,9 +355,18 @@ fn compare(
         Ok(h) => {
             line(
                 &format!("cutoff (h={h})"),
-                predict_cutoff(&dataset, &topo, &balls, &CutoffParams { m, h_upper: h, seed })
-                    .map(|p| p.prediction)
-                    .map_err(|e| e.to_string()),
+                predict_cutoff(
+                    &dataset,
+                    &topo,
+                    &balls,
+                    &CutoffParams {
+                        m,
+                        h_upper: h,
+                        seed,
+                    },
+                )
+                .map(|p| p.prediction)
+                .map_err(|e| e.to_string()),
             );
             line(
                 &format!("resampled (h={h})"),
@@ -347,7 +374,11 @@ fn compare(
                     &dataset,
                     &topo,
                     &balls,
-                    &ResampledParams { m, h_upper: h, seed },
+                    &ResampledParams {
+                        m,
+                        h_upper: h,
+                        seed,
+                    },
                 )
                 .map(|p| p.prediction)
                 .map_err(|e| e.to_string()),
@@ -362,7 +393,6 @@ fn compare(
 
 #[cfg(test)]
 mod tests {
-    
 
     fn run(cmdline: &str) -> Result<String, String> {
         let argv: Vec<String> = cmdline.split_whitespace().map(str::to_string).collect();

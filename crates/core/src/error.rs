@@ -86,11 +86,17 @@ mod tests {
         let e = Error::EmptyInput("dataset");
         assert_eq!(e.to_string(), "empty input: dataset");
         let e = Error::invalid("zeta", "must lie in (0, 1]");
-        assert_eq!(e.to_string(), "invalid parameter `zeta`: must lie in (0, 1]");
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter `zeta`: must lie in (0, 1]"
+        );
         let e = Error::InfeasibleTopology("h_upper too large".into());
         assert_eq!(e.to_string(), "infeasible tree topology: h_upper too large");
         let e = Error::IoOutOfRange { index: 9, len: 4 };
-        assert_eq!(e.to_string(), "simulated I/O out of range: index 9, length 4");
+        assert_eq!(
+            e.to_string(),
+            "simulated I/O out of range: index 9, length 4"
+        );
     }
 
     #[test]

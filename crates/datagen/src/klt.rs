@@ -249,10 +249,7 @@ mod tests {
         for (a, b) in [(0usize, 1usize), (5, 99), (200, 450)] {
             let orig = d.dist2_to(a, d.point(b));
             let rot = t.dist2_to(a, t.point(b));
-            assert!(
-                (orig - rot).abs() < 1e-3 * orig.max(1.0),
-                "{orig} vs {rot}"
-            );
+            assert!((orig - rot).abs() < 1e-3 * orig.max(1.0), "{orig} vs {rot}");
         }
     }
 
@@ -269,7 +266,11 @@ mod tests {
         }
         let d = Dataset::from_flat(3, data).unwrap();
         let klt = Klt::fit(&d).unwrap();
-        assert!((klt.eigenvalues[0] - 9.0).abs() < 0.3, "{:?}", klt.eigenvalues);
+        assert!(
+            (klt.eigenvalues[0] - 9.0).abs() < 0.3,
+            "{:?}",
+            klt.eigenvalues
+        );
         assert!((klt.eigenvalues[1] - 1.0).abs() < 0.1);
         assert!((klt.eigenvalues[2] - 0.25).abs() < 0.05);
     }

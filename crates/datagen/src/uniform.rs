@@ -5,8 +5,8 @@
 //! errors collapse to −0.5 % … −3 %.
 
 use hdidx_core::rng::seeded;
+use hdidx_core::rng::Rng;
 use hdidx_core::{Dataset, Error, Result};
-use rand::Rng;
 
 /// Parameters of the uniform generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +65,11 @@ mod tests {
         let ids: Vec<u32> = (0..d.len() as u32).collect();
         let st = dim_stats(&d, &ids).unwrap();
         for j in 0..4 {
-            assert!((st.mean[j] - 0.5).abs() < 0.01, "mean[{j}] = {}", st.mean[j]);
+            assert!(
+                (st.mean[j] - 0.5).abs() < 0.01,
+                "mean[{j}] = {}",
+                st.mean[j]
+            );
             assert!(
                 (st.variance[j] - 1.0 / 12.0).abs() < 0.005,
                 "var[{j}] = {}",

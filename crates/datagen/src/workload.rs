@@ -116,10 +116,7 @@ impl Workload {
                 radius,
             })
             .collect();
-        Ok(Workload {
-            k: self.k,
-            queries,
-        })
+        Ok(Workload { k: self.k, queries })
     }
 
     /// Number of queries.

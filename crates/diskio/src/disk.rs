@@ -75,12 +75,10 @@ impl Disk {
         if n_pages == 0 {
             return Ok(());
         }
-        let end = first_page
-            .checked_add(n_pages)
-            .ok_or(Error::IoOutOfRange {
-                index: usize::MAX,
-                len: file.pages as usize,
-            })?;
+        let end = first_page.checked_add(n_pages).ok_or(Error::IoOutOfRange {
+            index: usize::MAX,
+            len: file.pages as usize,
+        })?;
         if end > file.pages {
             return Err(Error::IoOutOfRange {
                 index: end as usize,
@@ -167,10 +165,22 @@ mod tests {
         let mut d = Disk::new();
         let f = d.alloc(100).unwrap();
         d.access(&f, 0, 10).unwrap();
-        assert_eq!(d.stats(), IoStats { seeks: 1, transfers: 10 });
+        assert_eq!(
+            d.stats(),
+            IoStats {
+                seeks: 1,
+                transfers: 10
+            }
+        );
         // Continuing where the head is: no new seek.
         d.access(&f, 10, 5).unwrap();
-        assert_eq!(d.stats(), IoStats { seeks: 1, transfers: 15 });
+        assert_eq!(
+            d.stats(),
+            IoStats {
+                seeks: 1,
+                transfers: 15
+            }
+        );
     }
 
     #[test]
@@ -179,7 +189,13 @@ mod tests {
         let f = d.alloc(100).unwrap();
         d.access(&f, 0, 1).unwrap();
         d.access(&f, 50, 1).unwrap();
-        assert_eq!(d.stats(), IoStats { seeks: 2, transfers: 2 });
+        assert_eq!(
+            d.stats(),
+            IoStats {
+                seeks: 2,
+                transfers: 2
+            }
+        );
         // Jumping backwards also seeks.
         d.access(&f, 10, 1).unwrap();
         assert_eq!(d.stats().seeks, 3);
@@ -191,10 +207,22 @@ mod tests {
         let f = d.alloc(10).unwrap();
         d.access(&f, 3, 1).unwrap();
         d.access(&f, 3, 1).unwrap();
-        assert_eq!(d.stats(), IoStats { seeks: 1, transfers: 1 });
+        assert_eq!(
+            d.stats(),
+            IoStats {
+                seeks: 1,
+                transfers: 1
+            }
+        );
         // Re-access extending past the buffered page: only the new pages.
         d.access(&f, 3, 3).unwrap();
-        assert_eq!(d.stats(), IoStats { seeks: 1, transfers: 3 });
+        assert_eq!(
+            d.stats(),
+            IoStats {
+                seeks: 1,
+                transfers: 3
+            }
+        );
     }
 
     #[test]
@@ -205,7 +233,13 @@ mod tests {
         d.access(&a, 0, 10).unwrap();
         // File b starts right after a, so continuing into it is sequential.
         d.access(&b, 0, 1).unwrap();
-        assert_eq!(d.stats(), IoStats { seeks: 1, transfers: 11 });
+        assert_eq!(
+            d.stats(),
+            IoStats {
+                seeks: 1,
+                transfers: 11
+            }
+        );
         // But going back to a seeks.
         d.access(&a, 5, 1).unwrap();
         assert_eq!(d.stats().seeks, 2);
@@ -217,7 +251,13 @@ mod tests {
         let f = d.alloc(10).unwrap();
         // 33 records/page: records 0..=32 on page 0, 33..=65 on page 1.
         d.access_records(&f, 30, 10, 33).unwrap();
-        assert_eq!(d.stats(), IoStats { seeks: 1, transfers: 2 });
+        assert_eq!(
+            d.stats(),
+            IoStats {
+                seeks: 1,
+                transfers: 2
+            }
+        );
         assert!(d.access_records(&f, 0, 1, 0).is_err());
         d.access_records(&f, 0, 0, 33).unwrap(); // no-op
         assert_eq!(d.stats().transfers, 2);
@@ -238,7 +278,13 @@ mod tests {
         let f = d.alloc(4).unwrap();
         d.access(&f, 0, 4).unwrap();
         d.charge(IoStats::random(7));
-        assert_eq!(d.stats(), IoStats { seeks: 8, transfers: 11 });
+        assert_eq!(
+            d.stats(),
+            IoStats {
+                seeks: 8,
+                transfers: 11
+            }
+        );
         d.reset_stats();
         assert_eq!(d.stats(), IoStats::default());
         // Head was invalidated by charge: next access seeks.

@@ -75,7 +75,11 @@ pub fn build_on_disk(data: &Dataset, topo: &Topology, cfg: &ExternalConfig) -> R
     if data.len() != topo.n() {
         return Err(Error::invalid(
             "data",
-            format!("topology is for {} points, data has {}", topo.n(), data.len()),
+            format!(
+                "topology is for {} points, data has {}",
+                topo.n(),
+                data.len()
+            ),
         ));
     }
     if cfg.mem_points < topo.cap_data() {
@@ -155,8 +159,12 @@ impl<'a> ExtBuilder<'a> {
         let mut newly_resident = false;
         if !resident && end - start <= self.cfg.mem_points {
             // Load the whole segment into memory: one sequential run.
-            self.disk
-                .access_records(&self.file, start as u64, (end - start) as u64, self.recs_per_page)?;
+            self.disk.access_records(
+                &self.file,
+                start as u64,
+                (end - start) as u64,
+                self.recs_per_page,
+            )?;
             resident = true;
             newly_resident = true;
         }
@@ -198,7 +206,8 @@ impl<'a> ExtBuilder<'a> {
             // region in one sequential run (its data pages + directory
             // pages were all produced in memory).
             let subtree_pages = self.nodes.len() as u64 - my_index as u64;
-            self.disk.access(&self.out, self.out_cursor, subtree_pages)?;
+            self.disk
+                .access(&self.out, self.out_cursor, subtree_pages)?;
             self.out_cursor += subtree_pages;
         }
         Ok(Some(my_index))
@@ -232,8 +241,12 @@ impl<'a> ExtBuilder<'a> {
         if rank > 0 && rank < len {
             if !resident {
                 // Variance scan of the segment (read-only sequential pass).
-                self.disk
-                    .access_records(&self.file, start as u64, len as u64, self.recs_per_page)?;
+                self.disk.access_records(
+                    &self.file,
+                    start as u64,
+                    len as u64,
+                    self.recs_per_page,
+                )?;
             }
             let dim = max_variance_dim(self.data, &self.ids[start..end])?;
             if !resident {
@@ -242,7 +255,15 @@ impl<'a> ExtBuilder<'a> {
             partition_by_rank(self.data, &mut self.ids[start..end], dim, rank);
         }
         self.partition_groups(start, start + rank, level, f_left, left_full, resident, out)?;
-        self.partition_groups(start + rank, end, level, fanout - f_left, right_full, resident, out)
+        self.partition_groups(
+            start + rank,
+            end,
+            level,
+            fanout - f_left,
+            right_full,
+            resident,
+            out,
+        )
     }
 
     /// Simulates the I/O of Hoare's *find* run externally: narrowing passes
@@ -271,11 +292,7 @@ impl<'a> ExtBuilder<'a> {
                 return Ok(());
             }
             self.partition_pass_io(lo, len)?;
-            let pivot = median3(
-                key(self, lo),
-                key(self, lo + len / 2),
-                key(self, hi - 1),
-            );
+            let pivot = median3(key(self, lo), key(self, lo + len / 2), key(self, hi - 1));
             let mut n_less = 0usize;
             let mut n_eq = 0usize;
             for i in lo..hi {
@@ -311,22 +328,34 @@ impl<'a> ExtBuilder<'a> {
         let remaining_end = lo + len;
         while read_pos < remaining_end {
             let this = chunk_recs.min(remaining_end - read_pos);
-            self.disk
-                .access_records(&self.file, read_pos as u64, this as u64, self.recs_per_page)?;
+            self.disk.access_records(
+                &self.file,
+                read_pos as u64,
+                this as u64,
+                self.recs_per_page,
+            )?;
             read_pos += this;
             // Write half the chunk to the front run, half to the back run
             // (the actual split depends on the data; half is the model).
             let half = this / 2;
             if half > 0 {
-                self.disk
-                    .access_records(&self.file, front as u64, half as u64, self.recs_per_page)?;
+                self.disk.access_records(
+                    &self.file,
+                    front as u64,
+                    half as u64,
+                    self.recs_per_page,
+                )?;
                 front += half;
             }
             let rest = this - half;
             if rest > 0 {
                 back -= rest;
-                self.disk
-                    .access_records(&self.file, back as u64, rest as u64, self.recs_per_page)?;
+                self.disk.access_records(
+                    &self.file,
+                    back as u64,
+                    rest as u64,
+                    self.recs_per_page,
+                )?;
             }
         }
         Ok(())
@@ -356,8 +385,8 @@ fn median3(a: f32, b: f32, c: f32) -> f32 {
 mod tests {
     use super::*;
     use hdidx_core::rng::seeded;
+    use hdidx_core::rng::Rng;
     use hdidx_vamsplit::bulkload::bulk_load;
-    use rand::Rng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seeded(seed);

@@ -76,7 +76,7 @@ pub fn measure_on_disk(
 mod tests {
     use super::*;
     use hdidx_core::rng::seeded;
-    use rand::Rng;
+    use hdidx_core::rng::Rng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seeded(seed);
@@ -88,8 +88,14 @@ mod tests {
         let data = random_dataset(3000, 6, 51);
         let topo = Topology::from_capacities(6, 3000, 20, 8).unwrap();
         let centers: Vec<Vec<f32>> = (0..20).map(|i| data.point(i * 10).to_vec()).collect();
-        let m = measure_on_disk(&data, &topo, &centers, 11, &ExternalConfig::with_mem_points(500))
-            .unwrap();
+        let m = measure_on_disk(
+            &data,
+            &topo,
+            &centers,
+            11,
+            &ExternalConfig::with_mem_points(500),
+        )
+        .unwrap();
         assert_eq!(m.per_query_leaf_accesses.len(), 20);
         assert!(m.avg_leaf_accesses() >= 1.0);
         assert!(m.avg_leaf_accesses() <= topo.leaf_pages() as f64);

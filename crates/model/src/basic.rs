@@ -82,9 +82,9 @@ pub fn predict_basic(
 mod tests {
     use super::*;
     use hdidx_core::rng::seeded as seed_rng;
+    use hdidx_core::rng::Rng;
     use hdidx_vamsplit::bulkload::bulk_load;
     use hdidx_vamsplit::query::knn;
-    use rand::Rng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seed_rng(seed);

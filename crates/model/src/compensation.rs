@@ -157,7 +157,7 @@ mod tests {
     #[test]
     fn monte_carlo_extent_ratio() {
         use hdidx_core::rng::seeded;
-        use rand::Rng;
+        use hdidx_core::rng::Rng;
         let mut rng = seeded(123);
         let c = 64usize;
         let zeta = 0.25;

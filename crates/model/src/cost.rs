@@ -207,7 +207,10 @@ mod tests {
         );
         let (_, r_lo) = lo.resampled_recommended().unwrap();
         let (_, r_hi) = hi.resampled_recommended().unwrap();
-        assert!(hi.seconds(r_hi) <= lo.seconds(r_lo), "resampled not monotone");
+        assert!(
+            hi.seconds(r_hi) <= lo.seconds(r_lo),
+            "resampled not monotone"
+        );
         // Cutoff is memory-independent (scan + queries only).
         assert_eq!(lo.cutoff(), hi.cutoff());
     }

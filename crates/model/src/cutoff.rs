@@ -127,7 +127,7 @@ fn split_box(
 mod tests {
     use super::*;
     use hdidx_core::rng::seeded;
-    use rand::Rng;
+    use hdidx_core::rng::Rng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seeded(seed);

@@ -69,10 +69,7 @@ impl QueryBall {
 
 /// Validates that every query ball matches the index dimensionality and
 /// has a finite, non-negative radius. Called by every predictor.
-pub(crate) fn validate_balls(
-    queries: &[QueryBall],
-    dim: usize,
-) -> hdidx_core::Result<()> {
+pub(crate) fn validate_balls(queries: &[QueryBall], dim: usize) -> hdidx_core::Result<()> {
     for (i, q) in queries.iter().enumerate() {
         if q.center.len() != dim {
             return Err(hdidx_core::Error::DimensionMismatch {

@@ -200,21 +200,16 @@ fn assign_to_box(boxes: &mut [HyperRect], p: &[f32]) -> usize {
 mod tests {
     use super::*;
     use hdidx_core::rng::seeded as seed_rng;
+    use hdidx_core::rng::Rng;
     use hdidx_vamsplit::bulkload::bulk_load;
     use hdidx_vamsplit::query::knn;
-    use rand::Rng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seed_rng(seed);
         Dataset::from_flat(dim, (0..n * dim).map(|_| rng.gen::<f32>()).collect()).unwrap()
     }
 
-    fn ground_truth(
-        data: &Dataset,
-        topo: &Topology,
-        q: usize,
-        k: usize,
-    ) -> (Vec<QueryBall>, f64) {
+    fn ground_truth(data: &Dataset, topo: &Topology, q: usize, k: usize) -> (Vec<QueryBall>, f64) {
         let tree = bulk_load(data, topo).unwrap();
         let mut balls = Vec::new();
         let mut total = 0u64;

@@ -82,11 +82,7 @@ pub fn predict_basic_sstree(
 /// # Errors
 ///
 /// Propagates layout-construction errors.
-pub fn measure_sstree(
-    data: &Dataset,
-    topo: &Topology,
-    queries: &[QueryBall],
-) -> Result<Vec<u64>> {
+pub fn measure_sstree(data: &Dataset, topo: &Topology, queries: &[QueryBall]) -> Result<Vec<u64>> {
     let ids: Vec<u32> = (0..data.len() as u32).collect();
     let layout = SsLeafLayout::build(data, ids, topo, data.len() as f64)?;
     Ok(queries
@@ -99,7 +95,7 @@ pub fn measure_sstree(
 mod tests {
     use super::*;
     use hdidx_core::rng::seeded as seed_rng;
-    use rand::Rng;
+    use hdidx_core::rng::Rng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seed_rng(seed);

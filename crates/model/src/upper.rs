@@ -94,7 +94,7 @@ pub fn build_upper_phase(
 mod tests {
     use super::*;
     use hdidx_core::rng::seeded as seed_rng;
-    use rand::Rng;
+    use hdidx_core::rng::Rng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seed_rng(seed);

@@ -1,0 +1,91 @@
+//! SplitMix64: a tiny, fast 64-bit generator used for seed expansion.
+//!
+//! SplitMix64 (Steele, Lea & Flood, OOPSLA 2014; public-domain reference
+//! by Sebastiano Vigna) is an equidistributed permutation of the 64-bit
+//! integers driven by a Weyl sequence. It is the generator the xoshiro
+//! authors recommend for initializing xoshiro state from a single word:
+//! consecutive outputs are statistically independent even for adjacent
+//! seeds, and no seed can produce an all-zero xoshiro state.
+
+use crate::traits::Rng;
+
+/// The SplitMix64 increment (the golden-ratio Weyl constant).
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64 generator state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator whose first output mixes `seed + gamma`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Advances the Weyl sequence and mixes out one 64-bit value.
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix(self.state)
+    }
+}
+
+/// The stateless SplitMix64 output function (variant "mix13").
+///
+/// Useful on its own to derive independent sub-seeds from a base seed and
+/// an index without constructing a generator:
+/// `mix(base ^ (i as u64).wrapping_mul(GAMMA))`.
+#[inline]
+#[must_use]
+pub fn mix(z: u64) -> u64 {
+    let z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the `index`-th decorrelated sub-seed of `base`.
+///
+/// Used by the property-test harness to give every test case its own
+/// reproducible seed, and by callers that fan one user-facing seed out to
+/// several independent streams (dataset vs. query vs. sample seeds).
+#[inline]
+#[must_use]
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    mix(base ^ index.wrapping_mul(GOLDEN_GAMMA).wrapping_add(GOLDEN_GAMMA))
+}
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Reference values from Vigna's public-domain splitmix64.c with
+        // x = 0: the first three outputs.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(sm.next(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(sm.next(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_indices() {
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        let c = derive_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Stable across calls.
+        assert_eq!(a, derive_seed(42, 0));
+    }
+}

@@ -1,0 +1,314 @@
+//! The [`Rng`] trait and the uniform-sampling machinery behind
+//! `gen`, `gen_range` and `fill_shuffle`.
+//!
+//! The trait mirrors the subset of the `rand` crate API the workspace
+//! actually uses, so the migration off the external crate is a one-line
+//! import change at every call site — but the implementations (53-bit
+//! float construction, Lemire's unbiased bounded sampling, Fisher–Yates)
+//! are self-contained and stream-stable.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic source of 64-bit words plus derived conveniences.
+///
+/// Only [`next_u64`](Rng::next_u64) is required; everything else is
+/// defined in terms of it, so every implementor produces the same derived
+/// streams from the same word stream. That property is load-bearing: the
+/// workspace's determinism tests pin derived values (floats, ranges,
+/// shuffles), not just raw words.
+pub trait Rng {
+    /// Returns the next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a uniform value of type `T` (floats in `[0, 1)`, integers
+    /// over their full range, `bool` as a fair coin).
+    #[inline]
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn gen_f64(&mut self) -> f64 {
+        // Take the top 53 bits: the multiplier is exactly 2^-53, so the
+        // result is an equidistant grid in [0, 1) and never rounds to 1.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Draws a uniform `f32` in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn gen_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]` (NaN included) — a probability
+    /// outside the unit interval is always a caller bug.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        self.gen_f64() < p
+    }
+
+    /// Draws a uniform value from `range` (`a..b` or `a..=b` for the
+    /// integer types, `a..b` for floats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Shuffles `slice` in place (Fisher–Yates, back to front).
+    #[inline]
+    fn fill_shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = u64_below(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Draws a uniform integer in `[0, bound)` without modulo bias.
+///
+/// Lemire's multiply-shift method (Lemire, "Fast random integer
+/// generation in an interval", TOMS 2019): one 64×64→128 multiply plus a
+/// rare rejection loop, strictly unbiased for every bound.
+#[inline]
+pub(crate) fn u64_below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(bound);
+    let mut low = m as u64;
+    if low < bound {
+        // Reject the (tiny) biased fringe: 2^64 mod bound values.
+        let threshold = bound.wrapping_neg() % bound;
+        while low < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(bound);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Types that can be drawn uniformly by [`Rng::gen`].
+pub trait Sample: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Sample for $t {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Sample for f64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.gen_f64()
+    }
+}
+
+impl Sample for f32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.gen_f32()
+    }
+}
+
+impl Sample for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Use the top bit; low bits of weaker engines are the weakest.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draws one value uniformly from `self`.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_range_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(u64_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit domain (only reachable for u64/usize-64).
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(u64_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_sint {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(u64_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i64).wrapping_sub(start as i64) as u64;
+                let span = span.wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(u64_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_sint!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty => $gen:ident),* $(,)?) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start < self.end && (self.end - self.start).is_finite(),
+                    "gen_range: empty or non-finite float range"
+                );
+                self.start + (self.end - self.start) * rng.$gen()
+            }
+        }
+    )*};
+}
+
+impl_range_float!(f64 => gen_f64, f32 => gen_f32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded;
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_all_values() {
+        let mut rng = seeded(11);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..1_000 {
+            let v = rng.gen_range(5..=9u32);
+            assert!((5..=9).contains(&v));
+            let f = rng.gen_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&f));
+            let i = rng.gen_range(-4..4i32);
+            assert!((-4..4).contains(&i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = seeded(0);
+        let _ = rng.gen_range(3..3usize);
+    }
+
+    #[test]
+    fn u64_below_is_roughly_uniform() {
+        let mut rng = seeded(17);
+        let mut counts = [0u32; 10];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[u64_below(&mut rng, 10) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let p = f64::from(c) / f64::from(draws);
+            assert!((p - 0.1).abs() < 0.01, "bucket {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = seeded(23);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn gen_bool_rejects_nan() {
+        let mut rng = seeded(0);
+        let _ = rng.gen_bool(f64::NAN);
+    }
+
+    #[test]
+    fn fill_shuffle_is_a_permutation() {
+        let mut rng = seeded(31);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.fill_shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+}

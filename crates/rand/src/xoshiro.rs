@@ -1,0 +1,149 @@
+//! xoshiro256++: the workspace's general-purpose generator.
+//!
+//! xoshiro256++ 1.0 (Blackman & Vigna, "Scrambled linear pseudorandom
+//! number generators", TOMS 2021; public-domain reference implementation)
+//! has a 256-bit state, period 2^256 − 1, passes BigCrush/PractRand, and
+//! needs only shifts, rotations and xors — it vectorizes well and is far
+//! faster than the ChaCha-based generator it replaces here, which matters
+//! because dataset generation draws hundreds of millions of variates in
+//! the large experiments.
+
+use crate::splitmix::SplitMix64;
+use crate::traits::Rng;
+
+/// xoshiro256++ generator state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Builds a generator from raw state words.
+    ///
+    /// The state must not be all zero (the all-zero state is the one fixed
+    /// point of the underlying linear engine and would emit only zeros);
+    /// an all-zero input is remapped through SplitMix64 instead of
+    /// panicking so the constructor is total.
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return Self::seed_from_u64(0);
+        }
+        Self { s }
+    }
+
+    /// Expands a 64-bit seed into the 256-bit state with SplitMix64.
+    ///
+    /// This is the seeding procedure recommended by the xoshiro authors:
+    /// it decorrelates nearby seeds and can never produce the forbidden
+    /// all-zero state (SplitMix64 is a bijection on 64-bit words, so four
+    /// consecutive outputs are zero only with probability 2^-256 — and the
+    /// constructor re-checks anyway).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next(), sm.next(), sm.next(), sm.next()];
+        if s == [0; 4] {
+            // Unreachable in practice; keep the engine total regardless.
+            return Self { s: [1, 2, 3, 4] };
+        }
+        Self { s }
+    }
+
+    /// Advances the engine one step and returns the scrambled output.
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The 2^128-step jump polynomial: advances this generator as if
+    /// `next` had been called 2^128 times. Splitting one seed into up to
+    /// 2^128 non-overlapping parallel streams (one `jump` per worker) is
+    /// how future multi-threaded dataset generation stays deterministic.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180e_c6d3_3cfd_0aba,
+            0xd5a6_1266_f0c9_392c,
+            0xa958_2618_e03f_c9aa,
+            0x39ab_dc45_29b1_661c,
+        ];
+        let mut acc = [0u64; 4];
+        for word in JUMP {
+            for bit in 0..64 {
+                if word & (1u64 << bit) != 0 {
+                    acc[0] ^= self.s[0];
+                    acc[1] ^= self.s[1];
+                    acc[2] ^= self.s[2];
+                    acc[3] ^= self.s[3];
+                }
+                self.next();
+            }
+        }
+        self.s = acc;
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Rng;
+
+    #[test]
+    fn matches_reference_vector_for_unit_state() {
+        // First output for state [1, 2, 3, 4] per the reference C code:
+        // rotl(s0 + s3, 23) + s0 = rotl(5, 23) + 1 = (5 << 23) + 1.
+        let mut rng = Xoshiro256pp::from_state([1, 2, 3, 4]);
+        assert_eq!(rng.next(), 41_943_041);
+        assert_eq!(rng.next(), 58_720_359);
+    }
+
+    #[test]
+    fn all_zero_state_is_remapped() {
+        let mut a = Xoshiro256pp::from_state([0; 4]);
+        let mut b = Xoshiro256pp::seed_from_u64(0);
+        for _ in 0..8 {
+            let x = a.next();
+            assert_eq!(x, b.next());
+            assert_ne!(x, 0, "degenerate engine");
+        }
+    }
+
+    #[test]
+    fn jump_leaves_disjoint_prefixes() {
+        let mut a = Xoshiro256pp::seed_from_u64(9);
+        let mut b = a.clone();
+        b.jump();
+        let pre: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let post: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_ne!(pre, post);
+    }
+
+    #[test]
+    fn floats_are_in_unit_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+            let y = rng.gen_f32();
+            assert!((0.0..1.0).contains(&y), "{y}");
+        }
+    }
+}

@@ -255,7 +255,7 @@ mod tests {
     use super::*;
     use crate::topology::Topology;
     use hdidx_core::rng::seeded;
-    use rand::Rng;
+    use hdidx_core::rng::Rng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seeded(seed);
@@ -323,7 +323,10 @@ mod tests {
         assert_eq!(fp.len(), mp.len());
         for (f, m) in fp.iter().zip(mp.iter()) {
             assert!(*m <= *f);
-            assert!((*m as f64) >= 0.85 * (*f as f64), "profile {mp:?} vs {fp:?}");
+            assert!(
+                (*m as f64) >= 0.85 * (*f as f64),
+                "profile {mp:?} vs {fp:?}"
+            );
         }
     }
 

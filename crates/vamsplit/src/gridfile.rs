@@ -177,8 +177,8 @@ fn cell_of(bounds: &[f32], x: f32) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hdidx_core::rng::Rng;
     use hdidx_core::rng::{bernoulli_sample, seeded};
-    use rand::Rng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seeded(seed);
@@ -238,7 +238,10 @@ mod tests {
             p_total += mini.count_ball_accesses(&q, 0.4);
         }
         let err = (p_total as f64 - m_total as f64).abs() / m_total as f64;
-        assert!(err < 0.12, "measured {m_total}, predicted {p_total} ({err:.3})");
+        assert!(
+            err < 0.12,
+            "measured {m_total}, predicted {p_total} ({err:.3})"
+        );
     }
 
     #[test]

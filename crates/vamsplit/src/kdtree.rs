@@ -146,7 +146,7 @@ mod tests {
     use super::*;
     use crate::query::{knn, scan_knn};
     use hdidx_core::rng::seeded;
-    use rand::Rng;
+    use hdidx_core::rng::Rng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seeded(seed);

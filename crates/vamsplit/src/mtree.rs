@@ -251,9 +251,7 @@ impl MTree {
         }
         let mut stats = AccessStats::default();
         let mut best: Vec<(f64, u32)> = Vec::new();
-        let lb_of = |n: &MNode| {
-            (data.dist2_to(n.pivot as usize, q).sqrt() - n.radius).max(0.0)
-        };
+        let lb_of = |n: &MNode| (data.dist2_to(n.pivot as usize, q).sqrt() - n.radius).max(0.0);
         let mut frontier = BinaryHeap::new();
         frontier.push(F {
             lb: lb_of(&self.nodes[0]),
@@ -357,7 +355,7 @@ mod tests {
     use super::*;
     use crate::query::scan_knn;
     use hdidx_core::rng::seeded;
-    use rand::Rng;
+    use hdidx_core::rng::Rng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seeded(seed);

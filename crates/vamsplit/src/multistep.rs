@@ -70,7 +70,9 @@ struct Best {
 impl Eq for Best {}
 impl Ord for Best {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist2.total_cmp(&other.dist2).then(self.id.cmp(&other.id))
+        self.dist2
+            .total_cmp(&other.dist2)
+            .then(self.id.cmp(&other.id))
     }
 }
 impl PartialOrd for Best {
@@ -185,7 +187,7 @@ mod tests {
     use crate::query::{count_sphere_intersections, scan_knn};
     use crate::topology::Topology;
     use hdidx_core::rng::seeded;
-    use rand::Rng;
+    use hdidx_core::rng::Rng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seeded(seed);

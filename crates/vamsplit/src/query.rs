@@ -183,12 +183,7 @@ pub fn range_accesses(tree: &RTree, center: &[f32], radius: f64) -> Result<Acces
 /// # Errors
 ///
 /// Returns [`Error::DimensionMismatch`] on a wrong-length center.
-pub fn range_query(
-    tree: &RTree,
-    data: &Dataset,
-    center: &[f32],
-    radius: f64,
-) -> Result<Vec<u32>> {
+pub fn range_query(tree: &RTree, data: &Dataset, center: &[f32], radius: f64) -> Result<Vec<u32>> {
     if center.len() != tree.dim() {
         return Err(Error::DimensionMismatch {
             expected: tree.dim(),
@@ -240,7 +235,7 @@ mod tests {
     use crate::bulkload::bulk_load;
     use crate::topology::Topology;
     use hdidx_core::rng::seeded;
-    use rand::Rng;
+    use hdidx_core::rng::Rng;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = seeded(seed);
@@ -248,8 +243,7 @@ mod tests {
     }
 
     fn tree_over(data: &Dataset, cap_data: usize, cap_dir: usize) -> RTree {
-        let topo =
-            Topology::from_capacities(data.dim(), data.len(), cap_data, cap_dir).unwrap();
+        let topo = Topology::from_capacities(data.dim(), data.len(), cap_data, cap_dir).unwrap();
         bulk_load(data, &topo).unwrap()
     }
 

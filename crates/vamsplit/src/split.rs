@@ -111,7 +111,7 @@ pub fn rank_property_holds(data: &Dataset, ids: &[u32], dim: usize, rank: usize)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use hdidx_core::rng::Rng;
 
     fn dataset_from_column(vals: &[f32]) -> Dataset {
         Dataset::from_flat(1, vals.to_vec()).unwrap()
@@ -172,7 +172,7 @@ mod tests {
     fn randomized_ranks_on_random_data() {
         let mut rng = hdidx_core::rng::seeded(99);
         for trial in 0..50 {
-            let n = rng.gen_range(2..400);
+            let n = rng.gen_range(2..400usize);
             let vals: Vec<f32> = (0..n)
                 .map(|_| (rng.gen_range(0..40) as f32) * 0.25)
                 .collect();
@@ -193,11 +193,8 @@ mod tests {
     #[test]
     fn partitions_on_selected_dimension_only() {
         // dim 0 constant, dim 1 descending; partition on dim 1.
-        let d = Dataset::from_flat(
-            2,
-            vec![0.0, 9.0, 0.0, 8.0, 0.0, 7.0, 0.0, 6.0, 0.0, 5.0],
-        )
-        .unwrap();
+        let d =
+            Dataset::from_flat(2, vec![0.0, 9.0, 0.0, 8.0, 0.0, 7.0, 0.0, 6.0, 0.0, 5.0]).unwrap();
         let mut ids: Vec<u32> = (0..5).collect();
         partition_by_rank(&d, &mut ids, 1, 3);
         assert!(rank_property_holds(&d, &ids, 1, 3));

@@ -14,8 +14,8 @@ use hdidx_repro::datagen::workload::Workload;
 use hdidx_repro::diskio::external::ExternalConfig;
 use hdidx_repro::diskio::measure::measure_on_disk;
 use hdidx_repro::model::{
-    hupper, predict_basic, predict_cutoff, predict_resampled, BasicParams, CutoffParams,
-    QueryBall, ResampledParams,
+    hupper, predict_basic, predict_cutoff, predict_resampled, BasicParams, CutoffParams, QueryBall,
+    ResampledParams,
 };
 use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
 
@@ -107,10 +107,7 @@ fn main() {
         let mbr = data.mbr().expect("mbr");
         let side = (0..data.dim()).map(|j| mbr.extent(j)).fold(0.0, f64::max);
         if let Ok(p) = predict_fractal(&topo, &dims, workload.mean_radius(), side) {
-            report(
-                &format!("fractal (D0 = {:.2})", dims.d0),
-                p,
-            );
+            report(&format!("fractal (D0 = {:.2})", dims.d0), p);
         }
     }
     println!("\n(the sampling-based predictors should be the only accurate ones)");

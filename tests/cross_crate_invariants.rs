@@ -2,6 +2,7 @@
 //! together and would not be visible from any single crate's unit tests.
 
 use hdidx_repro::core::rng::seeded;
+use hdidx_repro::core::rng::Rng;
 use hdidx_repro::core::Dataset;
 use hdidx_repro::diskio::external::{build_on_disk, ExternalConfig};
 use hdidx_repro::model::cost::CostInputs;
@@ -9,7 +10,6 @@ use hdidx_repro::model::{predict_resampled, ResampledParams};
 use hdidx_repro::vamsplit::bulkload::bulk_load;
 use hdidx_repro::vamsplit::query::{count_sphere_intersections, knn};
 use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
-use rand::Rng;
 
 fn clustered(n: usize, dim: usize, seed: u64) -> Dataset {
     hdidx_repro::datagen::clustered::ClusteredSpec {

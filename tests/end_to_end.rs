@@ -9,8 +9,8 @@ use hdidx_repro::diskio::external::ExternalConfig;
 use hdidx_repro::diskio::measure::measure_on_disk;
 use hdidx_repro::diskio::DiskModel;
 use hdidx_repro::model::{
-    hupper, predict_basic, predict_cutoff, predict_resampled, BasicParams, CutoffParams,
-    QueryBall, ResampledParams,
+    hupper, predict_basic, predict_cutoff, predict_resampled, BasicParams, CutoffParams, QueryBall,
+    ResampledParams,
 };
 use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
 

@@ -3,12 +3,12 @@
 //! metric tree.
 
 use hdidx_repro::baselines::distdist::{predict_ball_pages, DistanceDistribution};
+use hdidx_repro::core::rng::Rng;
 use hdidx_repro::core::rng::{bernoulli_sample, seeded};
 use hdidx_repro::core::Dataset;
 use hdidx_repro::datagen::clustered::{ClusteredSpec, Tail};
 use hdidx_repro::model::compensation::growth_factor;
 use hdidx_repro::vamsplit::mtree::MTree;
-use rand::Rng;
 
 fn clustered(n: usize, dim: usize, seed: u64) -> Dataset {
     ClusteredSpec {
@@ -55,10 +55,7 @@ fn distance_distribution_model_predicts_mtree_pages() {
     let q_count = 40;
     for i in 0..q_count {
         let q = data.point(i * 97);
-        measured += spheres
-            .iter()
-            .filter(|s| s.intersects_ball(q, r_q))
-            .count() as f64;
+        measured += spheres.iter().filter(|s| s.intersects_ball(q, r_q)).count() as f64;
     }
     measured /= q_count as f64;
     let predicted = predict_ball_pages(&dist, &spheres, r_q);
