@@ -9,10 +9,18 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> cargo clippy -q --offline --workspace -- -D warnings"
+cargo clippy -q --offline --workspace -- -D warnings
+
 echo "==> cargo build --release --offline --workspace"
 cargo build --release --offline --workspace
 
-echo "==> cargo test -q --offline --workspace"
+# The parallel layer guarantees thread-count-independent results, so the
+# whole suite must pass both forced-serial and with the default pool.
+echo "==> cargo test -q --offline --workspace (HDIDX_THREADS=1)"
+HDIDX_THREADS=1 cargo test -q --offline --workspace
+
+echo "==> cargo test -q --offline --workspace (default threads)"
 cargo test -q --offline --workspace
 
 echo "==> cargo bench --no-run --offline (bench targets must compile)"

@@ -21,11 +21,19 @@
 //! of the paper's sampling approach that the correlation diagrams,
 //! Figures 11–12, make visible).
 
+//!
+//! All baselines also implement the unified `hdidx_model::Predictor` trait
+//! (see [`predictor`]), and [`predictor::by_name`] is the registry behind
+//! the CLI's `--predictor` flag — covering the paper's predictors and the
+//! baselines under one set of names.
+
 pub mod distdist;
 pub mod fractal;
 pub mod gamma;
 pub mod histogram;
+pub mod predictor;
 pub mod uniform;
 
 pub use fractal::{estimate_fractal_dims, predict_fractal, FractalDims};
+pub use predictor::{by_name, PredictorConfig, PREDICTOR_NAMES};
 pub use uniform::{expected_knn_radius, predict_uniform};

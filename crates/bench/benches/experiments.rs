@@ -11,8 +11,7 @@ use hdidx_datagen::registry::NamedDataset;
 use hdidx_datagen::workload::Workload;
 use hdidx_diskio::external::{build_on_disk, ExternalConfig};
 use hdidx_model::{
-    predict_basic, predict_cutoff, predict_resampled, BasicParams, CostInputs, CutoffParams,
-    QueryBall, ResampledParams,
+    Basic, BasicParams, CostInputs, Cutoff, CutoffParams, QueryBall, Resampled, ResampledParams,
 };
 use hdidx_vamsplit::topology::{PageConfig, Topology};
 
@@ -42,16 +41,12 @@ fn ctx(ds: NamedDataset, scale: f64, q: usize) -> Ctx {
 fn fig02_basic_model(suite: &mut BenchSuite) {
     let ctx = ctx(NamedDataset::Color64, 0.05, 20);
     suite.bench("fig02/basic_model_color64", || {
-        predict_basic(
-            black_box(&ctx.data),
-            &ctx.topo,
-            &ctx.balls,
-            &BasicParams {
-                zeta: 0.2,
-                compensate: true,
-                seed: 1,
-            },
-        )
+        Basic::new(BasicParams {
+            zeta: 0.2,
+            compensate: true,
+            seed: 1,
+        })
+        .run(black_box(&ctx.data), &ctx.topo, &ctx.balls)
         .unwrap()
     });
 }
@@ -76,29 +71,21 @@ fn table3_phase_predictors(suite: &mut BenchSuite) {
     let ctx = ctx(NamedDataset::Texture60, 0.04, 20);
     let m = 1_000;
     suite.bench("table3/resampled_texture60", || {
-        predict_resampled(
-            black_box(&ctx.data),
-            &ctx.topo,
-            &ctx.balls,
-            &ResampledParams {
-                m,
-                h_upper: 2,
-                seed: 1,
-            },
-        )
+        Resampled::new(ResampledParams {
+            m,
+            h_upper: 2,
+            seed: 1,
+        })
+        .run(black_box(&ctx.data), &ctx.topo, &ctx.balls)
         .unwrap()
     });
     suite.bench("table3/cutoff_texture60", || {
-        predict_cutoff(
-            black_box(&ctx.data),
-            &ctx.topo,
-            &ctx.balls,
-            &CutoffParams {
-                m,
-                h_upper: 2,
-                seed: 1,
-            },
-        )
+        Cutoff::new(CutoffParams {
+            m,
+            h_upper: 2,
+            seed: 1,
+        })
+        .run(black_box(&ctx.data), &ctx.topo, &ctx.balls)
         .unwrap()
     });
     suite.bench("table3/ondisk_build_texture60", || {
@@ -125,16 +112,12 @@ fn fig13_14_applications(suite: &mut BenchSuite) {
     let ctx = ctx(NamedDataset::Texture60, 0.04, 10);
     suite.bench("fig13/page_size_point", || {
         let topo = Topology::new(60, ctx.data.len(), &PageConfig::with_page_bytes(32_768)).unwrap();
-        predict_resampled(
-            black_box(&ctx.data),
-            &topo,
-            &ctx.balls,
-            &ResampledParams {
-                m: 1_000,
-                h_upper: 2,
-                seed: 1,
-            },
-        )
+        Resampled::new(ResampledParams {
+            m: 1_000,
+            h_upper: 2,
+            seed: 1,
+        })
+        .run(black_box(&ctx.data), &topo, &ctx.balls)
         .unwrap()
     });
     suite.bench("fig14/projected_dims_point", || {
@@ -145,16 +128,12 @@ fn fig13_14_applications(suite: &mut BenchSuite) {
             .iter()
             .map(|q| QueryBall::new(q.center[..20].to_vec(), q.radius))
             .collect();
-        predict_resampled(
-            black_box(&proj),
-            &topo,
-            &balls,
-            &ResampledParams {
-                m: 1_000,
-                h_upper: 2,
-                seed: 1,
-            },
-        )
+        Resampled::new(ResampledParams {
+            m: 1_000,
+            h_upper: 2,
+            seed: 1,
+        })
+        .run(black_box(&proj), &topo, &balls)
         .unwrap()
     });
 }

@@ -7,8 +7,7 @@ use hdidx_check::bench::{black_box, BenchSuite};
 use hdidx_datagen::clustered::{ClusteredSpec, Tail};
 use hdidx_model::compensation::{delta, growth_factor};
 use hdidx_model::{
-    predict_basic, predict_cutoff, predict_resampled, BasicParams, CutoffParams, QueryBall,
-    ResampledParams,
+    Basic, BasicParams, Cutoff, CutoffParams, QueryBall, Resampled, ResampledParams,
 };
 use hdidx_vamsplit::topology::{PageConfig, Topology};
 
@@ -37,42 +36,30 @@ fn setup() -> (hdidx_core::Dataset, Topology, Vec<QueryBall>) {
 fn bench_predictors(suite: &mut BenchSuite) {
     let (data, topo, balls) = setup();
     suite.bench("predictors_30000x32/basic_zeta10", || {
-        predict_basic(
-            black_box(&data),
-            &topo,
-            &balls,
-            &BasicParams {
-                zeta: 0.1,
-                compensate: true,
-                seed: 1,
-            },
-        )
+        Basic::new(BasicParams {
+            zeta: 0.1,
+            compensate: true,
+            seed: 1,
+        })
+        .run(black_box(&data), &topo, &balls)
         .unwrap()
     });
     suite.bench("predictors_30000x32/cutoff_h2", || {
-        predict_cutoff(
-            black_box(&data),
-            &topo,
-            &balls,
-            &CutoffParams {
-                m: 3_000,
-                h_upper: 2,
-                seed: 1,
-            },
-        )
+        Cutoff::new(CutoffParams {
+            m: 3_000,
+            h_upper: 2,
+            seed: 1,
+        })
+        .run(black_box(&data), &topo, &balls)
         .unwrap()
     });
     suite.bench("predictors_30000x32/resampled_h2", || {
-        predict_resampled(
-            black_box(&data),
-            &topo,
-            &balls,
-            &ResampledParams {
-                m: 3_000,
-                h_upper: 2,
-                seed: 1,
-            },
-        )
+        Resampled::new(ResampledParams {
+            m: 3_000,
+            h_upper: 2,
+            seed: 1,
+        })
+        .run(black_box(&data), &topo, &balls)
         .unwrap()
     });
 }
@@ -94,16 +81,12 @@ fn bench_resampled_h_sweep(suite: &mut BenchSuite) {
     let (data, topo, balls) = setup();
     for h in 2..topo.height() {
         suite.bench(&format!("resampled_h_sweep/{h}"), || {
-            predict_resampled(
-                black_box(&data),
-                &topo,
-                &balls,
-                &ResampledParams {
-                    m: 3_000,
-                    h_upper: h,
-                    seed: 1,
-                },
-            )
+            Resampled::new(ResampledParams {
+                m: 3_000,
+                h_upper: h,
+                seed: 1,
+            })
+            .run(black_box(&data), &topo, &balls)
             .unwrap()
         });
     }

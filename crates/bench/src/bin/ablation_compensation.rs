@@ -8,7 +8,7 @@
 use hdidx_bench::table::{pct, Table};
 use hdidx_bench::{ExpArgs, ExperimentContext};
 use hdidx_datagen::registry::NamedDataset;
-use hdidx_model::{predict_basic, BasicParams};
+use hdidx_model::{Basic, BasicParams};
 
 fn main() {
     let args = ExpArgs::parse(0.1, 100);
@@ -42,16 +42,13 @@ fn main() {
         let measured = ctx.measure(ctx.data.len()).expect("measure");
         let avg = measured.avg_leaf_accesses();
         let err = |compensate: bool| -> String {
-            match predict_basic(
-                &ctx.data,
-                &ctx.topo,
-                &ctx.balls,
-                &BasicParams {
-                    zeta: 0.2,
-                    compensate,
-                    seed: args.seed,
-                },
-            ) {
+            match Basic::new(BasicParams {
+                zeta: 0.2,
+                compensate,
+                seed: args.seed,
+            })
+            .run(&ctx.data, &ctx.topo, &ctx.balls)
+            {
                 Ok(p) => pct(p.relative_error(avg)),
                 Err(e) => format!("n/a ({e})"),
             }

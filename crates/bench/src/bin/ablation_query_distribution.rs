@@ -12,7 +12,7 @@ use hdidx_core::knn::scan_knn_radius;
 use hdidx_core::rng::seeded;
 use hdidx_core::rng::Rng;
 use hdidx_datagen::registry::NamedDataset;
-use hdidx_model::{hupper, predict_resampled, QueryBall, ResampledParams};
+use hdidx_model::{hupper, QueryBall, Resampled, ResampledParams};
 use hdidx_vamsplit::query::count_sphere_intersections;
 
 fn main() {
@@ -62,16 +62,12 @@ fn main() {
         ("uniform-random centers", &uniform_balls),
     ] {
         let measured = truth(balls);
-        let p = predict_resampled(
-            &ctx.data,
-            &ctx.topo,
-            balls,
-            &ResampledParams {
-                m,
-                h_upper: h,
-                seed: args.seed,
-            },
-        )
+        let p = Resampled::new(ResampledParams {
+            m,
+            h_upper: h,
+            seed: args.seed,
+        })
+        .run(&ctx.data, &ctx.topo, balls)
         .expect("predict");
         let mean_r = balls.iter().map(|b| b.radius).sum::<f64>() / balls.len() as f64;
         table.row(vec![

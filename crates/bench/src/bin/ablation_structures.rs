@@ -20,7 +20,7 @@ use hdidx_bench::ExpArgs;
 use hdidx_datagen::registry::NamedDataset;
 use hdidx_datagen::workload::Workload;
 use hdidx_model::structures::{measure_sstree, predict_basic_sstree};
-use hdidx_model::{predict_basic, BasicParams, QueryBall};
+use hdidx_model::{Basic, BasicParams, QueryBall};
 use hdidx_vamsplit::bulkload::bulk_load;
 use hdidx_vamsplit::kdtree::bulk_load_midsplit;
 use hdidx_vamsplit::query::count_sphere_intersections;
@@ -57,7 +57,9 @@ fn main() {
         .iter()
         .map(|q| count_sphere_intersections(&pages, &q.center, q.radius))
         .collect();
-    let pred = predict_basic(&data, &topo, &balls, &params).expect("predict");
+    let pred = Basic::new(params)
+        .run(&data, &topo, &balls)
+        .expect("predict");
     table.row(vec![
         "VAMSplit R*-tree".into(),
         format!("{:.1}", avg(&measured_r)),

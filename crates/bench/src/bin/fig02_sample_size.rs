@@ -8,7 +8,7 @@
 use hdidx_bench::table::{pct, Table};
 use hdidx_bench::{ExpArgs, ExperimentContext};
 use hdidx_datagen::registry::NamedDataset;
-use hdidx_model::{predict_basic, BasicParams};
+use hdidx_model::{Basic, BasicParams};
 
 fn main() {
     let args = ExpArgs::parse(0.25, 500);
@@ -34,16 +34,13 @@ fn main() {
     ]);
     for zeta in [0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.50] {
         let cell = |compensate: bool| -> String {
-            match predict_basic(
-                &ctx.data,
-                &ctx.topo,
-                &ctx.balls,
-                &BasicParams {
-                    zeta,
-                    compensate,
-                    seed: args.seed,
-                },
-            ) {
+            match Basic::new(BasicParams {
+                zeta,
+                compensate,
+                seed: args.seed,
+            })
+            .run(&ctx.data, &ctx.topo, &ctx.balls)
+            {
                 Ok(p) => pct(p.relative_error(measured_avg)),
                 Err(e) => format!("n/a ({e})"),
             }

@@ -12,7 +12,7 @@
 use hdidx_bench::table::Table;
 use hdidx_bench::{ExpArgs, ExperimentContext};
 use hdidx_datagen::registry::NamedDataset;
-use hdidx_model::{predict_cutoff, predict_resampled, CutoffParams, ResampledParams};
+use hdidx_model::{Cutoff, CutoffParams, Resampled, ResampledParams};
 
 fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     let n = xs.len() as f64;
@@ -56,16 +56,13 @@ fn main() {
     let mut summary = Table::new(&["Setting", "Pearson r", "Rel. error"]);
     for (label, m, h) in configs {
         let h = h.min(ctx.topo.height() - 1);
-        match predict_resampled(
-            &ctx.data,
-            &ctx.topo,
-            &ctx.balls,
-            &ResampledParams {
-                m,
-                h_upper: h,
-                seed: args.seed,
-            },
-        ) {
+        match Resampled::new(ResampledParams {
+            m,
+            h_upper: h,
+            seed: args.seed,
+        })
+        .run(&ctx.data, &ctx.topo, &ctx.balls)
+        {
             Ok(p) => {
                 let pred: Vec<f64> = p.prediction.per_query.iter().map(|&x| x as f64).collect();
                 let r = pearson(&measured_f, &pred);
@@ -90,16 +87,13 @@ fn main() {
 
     // Counterpoint: cutoff shows little correlation (paper: "no
     // correlation at all").
-    if let Ok(p) = predict_cutoff(
-        &ctx.data,
-        &ctx.topo,
-        &ctx.balls,
-        &CutoffParams {
-            m: m_large,
-            h_upper: 3.min(ctx.topo.height() - 1),
-            seed: args.seed,
-        },
-    ) {
+    if let Ok(p) = Cutoff::new(CutoffParams {
+        m: m_large,
+        h_upper: 3.min(ctx.topo.height() - 1),
+        seed: args.seed,
+    })
+    .run(&ctx.data, &ctx.topo, &ctx.balls)
+    {
         let pred: Vec<f64> = p.prediction.per_query.iter().map(|&x| x as f64).collect();
         summary.row(vec![
             "Cutoff (M=10k-scaled, h_upper=3)".into(),

@@ -11,7 +11,7 @@ use hdidx_bench::table::{pct, secs, Table};
 use hdidx_bench::{ExpArgs, ExperimentContext};
 use hdidx_datagen::registry::NamedDataset;
 use hdidx_diskio::DiskModel;
-use hdidx_model::{hupper, predict_basic, predict_resampled, BasicParams, ResampledParams};
+use hdidx_model::{hupper, Basic, BasicParams, Resampled, ResampledParams};
 
 fn main() {
     let args = ExpArgs::parse(0.25, 500);
@@ -49,29 +49,21 @@ fn main() {
         // shallow for the phase split (large pages) fall back to the §3
         // basic model on an M-point sample.
         let phase = hupper::recommended_h_upper(&ctx.topo, m).and_then(|h| {
-            predict_resampled(
-                &ctx.data,
-                &ctx.topo,
-                &ctx.balls,
-                &ResampledParams {
-                    m,
-                    h_upper: h,
-                    seed: args.seed,
-                },
-            )
+            Resampled::new(ResampledParams {
+                m,
+                h_upper: h,
+                seed: args.seed,
+            })
+            .run(&ctx.data, &ctx.topo, &ctx.balls)
             .map(|p| p.prediction)
         });
         let prediction = phase.or_else(|_| {
-            predict_basic(
-                &ctx.data,
-                &ctx.topo,
-                &ctx.balls,
-                &BasicParams {
-                    zeta: (m as f64 / ctx.data.len() as f64).min(1.0),
-                    compensate: true,
-                    seed: args.seed,
-                },
-            )
+            Basic::new(BasicParams {
+                zeta: (m as f64 / ctx.data.len() as f64).min(1.0),
+                compensate: true,
+                seed: args.seed,
+            })
+            .run(&ctx.data, &ctx.topo, &ctx.balls)
         });
         let (p_acc, p_cost, err) = match prediction {
             Ok(p) => {

@@ -13,7 +13,7 @@ use hdidx_bench::table::{pct, Table};
 use hdidx_bench::{ExpArgs, ExperimentContext};
 use hdidx_datagen::registry::NamedDataset;
 use hdidx_diskio::external::{build_on_disk, ExternalConfig};
-use hdidx_model::{hupper, predict_resampled, QueryBall, ResampledParams};
+use hdidx_model::{hupper, QueryBall, Resampled, ResampledParams};
 use hdidx_vamsplit::query::range_accesses;
 use hdidx_vamsplit::topology::{PageConfig, Topology};
 
@@ -53,16 +53,12 @@ fn main() {
         }
         let measured = total as f64 / ctx.workload.len() as f64;
         let (pred, err) = match hupper::recommended_h_upper(&topo, m).and_then(|h| {
-            predict_resampled(
-                &proj,
-                &topo,
-                &balls,
-                &ResampledParams {
-                    m,
-                    h_upper: h,
-                    seed: args.seed,
-                },
-            )
+            Resampled::new(ResampledParams {
+                m,
+                h_upper: h,
+                seed: args.seed,
+            })
+            .run(&proj, &topo, &balls)
         }) {
             Ok(p) => (
                 format!("{:.1}", p.prediction.avg_leaf_accesses()),

@@ -11,7 +11,7 @@ use hdidx_bench::ExpArgs;
 use hdidx_datagen::registry::NamedDataset;
 use hdidx_datagen::workload::Workload;
 use hdidx_diskio::external::{build_on_disk, ExternalConfig};
-use hdidx_model::{hupper, predict_resampled, QueryBall, ResampledParams};
+use hdidx_model::{hupper, QueryBall, Resampled, ResampledParams};
 use hdidx_vamsplit::query::range_accesses;
 use hdidx_vamsplit::topology::{PageConfig, Topology};
 
@@ -59,16 +59,12 @@ fn main() {
             .iter()
             .map(|q| QueryBall::new(q.center.clone(), q.radius))
             .collect();
-        let p = predict_resampled(
-            &data,
-            &topo,
-            &balls,
-            &ResampledParams {
-                m,
-                h_upper: h,
-                seed: args.seed,
-            },
-        )
+        let p = Resampled::new(ResampledParams {
+            m,
+            h_upper: h,
+            seed: args.seed,
+        })
+        .run(&data, &topo, &balls)
         .expect("predict");
         table.row(vec![
             format!("{mult:.2}"),

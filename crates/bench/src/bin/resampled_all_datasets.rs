@@ -8,7 +8,7 @@ use hdidx_bench::table::{pct, secs, Table};
 use hdidx_bench::{ExpArgs, ExperimentContext};
 use hdidx_datagen::registry::NamedDataset;
 use hdidx_diskio::DiskModel;
-use hdidx_model::{hupper, predict_cutoff, predict_resampled, CutoffParams, ResampledParams};
+use hdidx_model::{hupper, Cutoff, CutoffParams, Resampled, ResampledParams};
 
 fn main() {
     let args = ExpArgs::parse(0.25, 200);
@@ -50,26 +50,18 @@ fn main() {
         };
         let measured = ctx.measure(m).expect("measure");
         let avg = measured.avg_leaf_accesses();
-        let res = predict_resampled(
-            &ctx.data,
-            &ctx.topo,
-            &ctx.balls,
-            &ResampledParams {
-                m,
-                h_upper: h,
-                seed: args.seed,
-            },
-        );
-        let cut = predict_cutoff(
-            &ctx.data,
-            &ctx.topo,
-            &ctx.balls,
-            &CutoffParams {
-                m,
-                h_upper: h,
-                seed: args.seed,
-            },
-        );
+        let res = Resampled::new(ResampledParams {
+            m,
+            h_upper: h,
+            seed: args.seed,
+        })
+        .run(&ctx.data, &ctx.topo, &ctx.balls);
+        let cut = Cutoff::new(CutoffParams {
+            m,
+            h_upper: h,
+            seed: args.seed,
+        })
+        .run(&ctx.data, &ctx.topo, &ctx.balls);
         let ondisk_s = disk.cost_seconds(measured.total_io());
         let (res_err, res_s) = match &res {
             Ok(p) => (

@@ -13,7 +13,7 @@ use hdidx_bench::table::{pct, secs, Table};
 use hdidx_bench::{ExpArgs, ExperimentContext};
 use hdidx_datagen::registry::NamedDataset;
 use hdidx_diskio::DiskModel;
-use hdidx_model::{predict_cutoff, predict_resampled, CutoffParams, ResampledParams};
+use hdidx_model::{Cutoff, CutoffParams, Resampled, ResampledParams};
 
 fn main() {
     let args = ExpArgs::parse(0.25, 500);
@@ -59,16 +59,13 @@ fn main() {
     };
 
     for h in h_range() {
-        match predict_resampled(
-            &ctx.data,
-            &ctx.topo,
-            &ctx.balls,
-            &ResampledParams {
-                m,
-                h_upper: h,
-                seed: args.seed,
-            },
-        ) {
+        match Resampled::new(ResampledParams {
+            m,
+            h_upper: h,
+            seed: args.seed,
+        })
+        .run(&ctx.data, &ctx.topo, &ctx.balls)
+        {
             Ok(p) => table.row(vec![
                 format!(
                     "Resampled (h={h}, su={:.4}, sl={:.4})",
@@ -90,16 +87,13 @@ fn main() {
     }
 
     for h in h_range() {
-        match predict_cutoff(
-            &ctx.data,
-            &ctx.topo,
-            &ctx.balls,
-            &CutoffParams {
-                m,
-                h_upper: h,
-                seed: args.seed,
-            },
-        ) {
+        match Cutoff::new(CutoffParams {
+            m,
+            h_upper: h,
+            seed: args.seed,
+        })
+        .run(&ctx.data, &ctx.topo, &ctx.balls)
+        {
             Ok(p) => table.row(vec![
                 format!("Cutoff (h={h}, su={:.4})", p.sigma_upper),
                 pct(p.prediction.relative_error(measured_avg)),

@@ -7,13 +7,12 @@
 //! Paper's numbers (full scale): uniform 8,641 pages (+1,169 %), fractal
 //! 5,892 (+765 %), resampled 701 (+3 %) against 681 measured.
 
-use hdidx_baselines::fractal::{estimate_fractal_dims, predict_fractal};
-use hdidx_baselines::histogram::GridHistogram;
-use hdidx_baselines::uniform::{predict_uniform, split_dimensions};
+use hdidx_baselines::predictor::{Fractal, Histogram, Uniform};
+use hdidx_baselines::uniform::split_dimensions;
 use hdidx_bench::table::{pct, Table};
 use hdidx_bench::{ExpArgs, ExperimentContext};
 use hdidx_datagen::registry::NamedDataset;
-use hdidx_model::{hupper, predict_resampled, ResampledParams};
+use hdidx_model::{hupper, Predictor, Resampled, ResampledParams};
 
 fn main() {
     let args = ExpArgs::parse(0.25, 500);
@@ -52,98 +51,66 @@ fn run_dataset(ds: NamedDataset, args: &ExpArgs, m_paper: f64) {
 
     let mut table = Table::new(&["Method", "Pages accessed", "Rel. error"]);
 
-    // Uniform model (workload-independent).
-    match predict_uniform(&ctx.topo, ctx.workload.k) {
-        Ok(p) => {
-            table.row(vec![
-                format!(
-                    "Uniform ({} split dims)",
-                    split_dimensions(ctx.topo.leaf_pages(), ctx.topo.dim())
-                ),
-                format!("{p:.0}"),
-                pct((p - avg) / avg),
-            ]);
-        }
-        Err(e) => table.row(vec!["Uniform".into(), format!("n/a: {e}"), "-".into()]),
-    }
-
-    // Fractal model: D0/D2 from box counting; mean measured radius.
-    match estimate_fractal_dims(&ctx.data, 7) {
-        Ok(dims) => {
-            let mbr = ctx.data.mbr().expect("mbr");
-            let side = (0..ctx.data.dim())
-                .map(|j| mbr.extent(j))
-                .fold(0.0f64, f64::max);
-            let mean_r = ctx.workload.mean_radius();
-            // §5.3: with too few points for the dimensionality the
-            // estimate degenerates — report it as inapplicable like the
-            // paper does for the 360-/617-d sets.
-            let applicable = ctx.data.len() as f64 >= 50.0 * ctx.data.dim() as f64;
-            if applicable {
-                let p = predict_fractal(&ctx.topo, &dims, mean_r, side).expect("fractal");
-                table.row(vec![
-                    format!("Fractal (D0={:.2}, D2={:.2})", dims.d0, dims.d2),
-                    format!("{p:.0}"),
-                    pct((p - avg) / avg),
-                ]);
-            } else {
-                table.row(vec![
-                    format!("Fractal (D0={:.2}, D2={:.2})", dims.d0, dims.d2),
-                    "not applicable (N too small for d)".into(),
-                    "-".into(),
-                ]);
-            }
-        }
-        Err(e) => table.row(vec!["Fractal".into(), format!("n/a: {e}"), "-".into()]),
-    }
-
+    // Every model goes through the unified `Predictor` trait; the rows
+    // only differ in their construction and label.
+    let uniform = Uniform { k: ctx.workload.k };
+    let fractal = Fractal { levels: 7 };
     // Locally parametric (§2.3) baseline: a grid histogram over the top 6
     // variance dimensions (a full-dimensional grid is infeasible — that
     // infeasibility is the paper's reason for excluding this category
     // from its Table 4; the row is included here to complete the § 2
     // taxonomy and demonstrate the failure).
-    match GridHistogram::build(&ctx.data, 6, 4) {
-        Ok(h) => {
-            let avg_pred: f64 = ctx
-                .balls
-                .iter()
-                .map(|q| h.predict_accesses(&ctx.topo, &q.center, q.radius))
-                .sum::<f64>()
-                / ctx.balls.len().max(1) as f64;
-            table.row(vec![
-                format!(
-                    "Histogram (6 dims, {:.0}% cells empty)",
-                    100.0 * h.empty_cell_fraction()
-                ),
-                format!("{avg_pred:.0}"),
-                pct((avg_pred - avg) / avg),
-            ]);
-        }
-        Err(e) => table.row(vec!["Histogram".into(), format!("n/a: {e}"), "-".into()]),
+    let histogram = Histogram {
+        d_grid: 6,
+        bins_per_dim: 4,
+    };
+    let h = hupper::recommended_h_upper(&ctx.topo, m);
+    let resampled = h.as_ref().ok().map(|&h| {
+        Resampled::new(ResampledParams {
+            m,
+            h_upper: h,
+            seed: args.seed,
+        })
+    });
+
+    let mut models: Vec<(String, &dyn Predictor)> = vec![(
+        format!(
+            "Uniform ({} split dims)",
+            split_dimensions(ctx.topo.leaf_pages(), ctx.topo.dim())
+        ),
+        &uniform,
+    )];
+    // §5.3: with too few points for the dimensionality the box-counting
+    // estimate degenerates — report it as inapplicable like the paper
+    // does for the 360-/617-d sets.
+    let fractal_applicable = ctx.data.len() as f64 >= 50.0 * ctx.data.dim() as f64;
+    if fractal_applicable {
+        models.push(("Fractal (7 box-count levels)".to_string(), &fractal));
+    }
+    models.push(("Histogram (6 dims x 4 bins)".to_string(), &histogram));
+    if let Some(r) = &resampled {
+        models.push((format!("Resampled (h_upper={})", r.params().h_upper), r));
     }
 
-    // Resampled at the recommended h_upper.
-    match hupper::recommended_h_upper(&ctx.topo, m).and_then(|h| {
-        predict_resampled(
-            &ctx.data,
-            &ctx.topo,
-            &ctx.balls,
-            &ResampledParams {
-                m,
-                h_upper: h,
-                seed: args.seed,
-            },
-        )
-        .map(|p| (h, p))
-    }) {
-        Ok((h, p)) => {
-            table.row(vec![
-                format!("Resampled (h_upper={h})"),
-                format!("{:.0}", p.prediction.avg_leaf_accesses()),
-                pct(p.prediction.relative_error(avg)),
-            ]);
+    for (label, model) in &models {
+        match model.predict(&ctx.data, &ctx.topo, &ctx.balls) {
+            Ok(p) => table.row(vec![
+                label.clone(),
+                format!("{:.0}", p.avg_leaf_accesses()),
+                pct(p.relative_error(avg)),
+            ]),
+            Err(e) => table.row(vec![label.clone(), format!("n/a: {e}"), "-".into()]),
         }
-        Err(e) => table.row(vec!["Resampled".into(), format!("n/a: {e}"), "-".into()]),
+    }
+    if !fractal_applicable {
+        table.row(vec![
+            "Fractal".into(),
+            "not applicable (N too small for d)".into(),
+            "-".into(),
+        ]);
+    }
+    if let Err(e) = &h {
+        table.row(vec!["Resampled".into(), format!("n/a: {e}"), "-".into()]);
     }
 
     table.print();

@@ -6,7 +6,7 @@
 use hdidx_bench::table::{pct, Table};
 use hdidx_bench::{ExpArgs, ExperimentContext};
 use hdidx_datagen::registry::NamedDataset;
-use hdidx_model::{predict_cutoff, predict_resampled, CutoffParams, ResampledParams};
+use hdidx_model::{Cutoff, CutoffParams, Resampled, ResampledParams};
 
 fn main() {
     let args = ExpArgs::parse(1.0, 500);
@@ -28,31 +28,25 @@ fn main() {
     let mut table = Table::new(&["Method", "Rel. error"]);
     let max_h = ctx.topo.height() - 1;
     for h in 2..=max_h {
-        if let Ok(p) = predict_resampled(
-            &ctx.data,
-            &ctx.topo,
-            &ctx.balls,
-            &ResampledParams {
-                m,
-                h_upper: h,
-                seed: args.seed,
-            },
-        ) {
+        if let Ok(p) = Resampled::new(ResampledParams {
+            m,
+            h_upper: h,
+            seed: args.seed,
+        })
+        .run(&ctx.data, &ctx.topo, &ctx.balls)
+        {
             table.row(vec![
                 format!("Resampled (h_upper={h})"),
                 pct(p.prediction.relative_error(avg)),
             ]);
         }
-        if let Ok(p) = predict_cutoff(
-            &ctx.data,
-            &ctx.topo,
-            &ctx.balls,
-            &CutoffParams {
-                m,
-                h_upper: h,
-                seed: args.seed,
-            },
-        ) {
+        if let Ok(p) = Cutoff::new(CutoffParams {
+            m,
+            h_upper: h,
+            seed: args.seed,
+        })
+        .run(&ctx.data, &ctx.topo, &ctx.balls)
+        {
             table.row(vec![
                 format!("Cutoff (h_upper={h})"),
                 pct(p.prediction.relative_error(avg)),

@@ -13,7 +13,7 @@ use hdidx_bench::table::Table;
 use hdidx_bench::{ExpArgs, ExperimentContext};
 use hdidx_datagen::registry::NamedDataset;
 use hdidx_diskio::DiskModel;
-use hdidx_model::{hupper, predict_resampled, ResampledParams};
+use hdidx_model::{hupper, Resampled, ResampledParams};
 use hdidx_vamsplit::vafile::VaFile;
 
 fn main() {
@@ -29,16 +29,12 @@ fn main() {
     let rtree_acc = measured.avg_leaf_accesses();
     let predicted = hupper::recommended_h_upper(&ctx.topo, m)
         .and_then(|h| {
-            predict_resampled(
-                &ctx.data,
-                &ctx.topo,
-                &ctx.balls,
-                &ResampledParams {
-                    m,
-                    h_upper: h,
-                    seed: args.seed,
-                },
-            )
+            Resampled::new(ResampledParams {
+                m,
+                h_upper: h,
+                seed: args.seed,
+            })
+            .run(&ctx.data, &ctx.topo, &ctx.balls)
         })
         .map(|p| p.prediction.avg_leaf_accesses());
 

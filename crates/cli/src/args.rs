@@ -1,15 +1,12 @@
 //! Hand-rolled argument parsing (no external CLI dependency).
+//!
+//! Flag conventions, shared by every data command: `--seed` (RNG seed),
+//! `--m` (memory budget in points), `--h-upper` (upper-tree height),
+//! `--threads` (worker threads; 1 forces serial, absent = available
+//! parallelism / `HDIDX_THREADS`), `--predictor` (a name from the
+//! `hdidx_baselines::PREDICTOR_NAMES` registry).
 
-/// Which prediction method to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Method {
-    /// §4.4 resampled index tree (default; most accurate).
-    Resampled,
-    /// §4.3 cutoff index tree (cheapest).
-    Cutoff,
-    /// §3 basic mini-index (unrestricted memory).
-    Basic,
-}
+use hdidx_baselines::PREDICTOR_NAMES;
 
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,8 +33,8 @@ pub enum Command {
         page_bytes: usize,
         /// Memory budget in points.
         m: usize,
-        /// Method.
-        method: Method,
+        /// Registered predictor name (see `PREDICTOR_NAMES`).
+        predictor: String,
         /// Number of queries.
         queries: usize,
         /// Neighbor count.
@@ -48,6 +45,8 @@ pub enum Command {
         zeta: Option<f64>,
         /// RNG seed.
         seed: u64,
+        /// Worker threads (None = available parallelism, 1 = serial).
+        threads: Option<usize>,
     },
     /// Run every predictor plus the measured ground truth in one report.
     Compare {
@@ -63,6 +62,8 @@ pub enum Command {
         k: usize,
         /// RNG seed.
         seed: u64,
+        /// Worker threads (None = available parallelism, 1 = serial).
+        threads: Option<usize>,
     },
     /// Build the index (simulated on-disk) and measure ground truth.
     Measure {
@@ -78,6 +79,8 @@ pub enum Command {
         k: usize,
         /// RNG seed.
         seed: u64,
+        /// Worker threads (None = available parallelism, 1 = serial).
+        threads: Option<usize>,
     },
     /// Generate a named dataset analog as CSV.
     Generate {
@@ -99,14 +102,19 @@ hdidx — sampling-based index cost prediction (Lang & Singh, SIGMOD 2001)
 
 USAGE:
   hdidx info     --data <csv> [--page-bytes 8192]
-  hdidx predict  --data <csv> --m <points> [--method resampled|cutoff|basic]
+  hdidx predict  --data <csv> --m <points>
+                 [--predictor resampled|cutoff|basic|uniform|fractal|histogram|distdist]
                  [--queries 500] [--k 21] [--h-upper N] [--zeta F]
-                 [--page-bytes 8192] [--seed 42]
+                 [--page-bytes 8192] [--seed 42] [--threads N]
   hdidx measure  --data <csv> --m <points> [--queries 500] [--k 21]
-                 [--page-bytes 8192] [--seed 42]
+                 [--page-bytes 8192] [--seed 42] [--threads N]
   hdidx compare  --data <csv> --m <points> [--queries 500] [--k 21]
-                 [--page-bytes 8192] [--seed 42]
+                 [--page-bytes 8192] [--seed 42] [--threads N]
   hdidx generate --dataset <name> [--scale 1.0] --out <csv>
+
+`--threads 1` forces serial execution; omitting --threads uses the
+HDIDX_THREADS environment variable or the machine's available
+parallelism. Results are identical for any thread count.
 ";
 
 struct Opts {
@@ -172,6 +180,14 @@ impl Opts {
     }
 }
 
+fn parse_threads(opts: &Opts) -> Result<Option<usize>, String> {
+    let threads: Option<usize> = opts.parse_opt("threads")?;
+    if threads == Some(0) {
+        return Err("option --threads: must be at least 1".to_string());
+    }
+    Ok(threads)
+}
+
 impl Cli {
     /// Parses `argv` (without the program name).
     ///
@@ -200,35 +216,46 @@ impl Cli {
                     "data",
                     "page-bytes",
                     "m",
-                    "method",
+                    "predictor",
                     "queries",
                     "k",
                     "h-upper",
                     "zeta",
                     "seed",
+                    "threads",
                 ])?;
-                let method = match opts.get("method").unwrap_or("resampled") {
-                    "resampled" => Method::Resampled,
-                    "cutoff" => Method::Cutoff,
-                    "basic" => Method::Basic,
-                    other => return Err(format!("unknown method `{other}`")),
-                };
+                let predictor = opts.get("predictor").unwrap_or("resampled").to_string();
+                if !PREDICTOR_NAMES.contains(&predictor.as_str()) {
+                    return Err(format!(
+                        "unknown predictor `{predictor}` (expected one of {})",
+                        PREDICTOR_NAMES.join(", ")
+                    ));
+                }
                 Command::Predict {
                     data: opts.required("data")?,
                     page_bytes: opts.parse_or("page-bytes", 8192usize)?,
                     m: opts
                         .parse_opt("m")?
                         .ok_or("missing required option --m".to_string())?,
-                    method,
+                    predictor,
                     queries: opts.parse_or("queries", 500usize)?,
                     k: opts.parse_or("k", 21usize)?,
                     h_upper: opts.parse_opt("h-upper")?,
                     zeta: opts.parse_opt("zeta")?,
                     seed: opts.parse_or("seed", 42u64)?,
+                    threads: parse_threads(&opts)?,
                 }
             }
             "compare" => {
-                opts.reject_unknown(&["data", "page-bytes", "m", "queries", "k", "seed"])?;
+                opts.reject_unknown(&[
+                    "data",
+                    "page-bytes",
+                    "m",
+                    "queries",
+                    "k",
+                    "seed",
+                    "threads",
+                ])?;
                 Command::Compare {
                     data: opts.required("data")?,
                     page_bytes: opts.parse_or("page-bytes", 8192usize)?,
@@ -238,10 +265,19 @@ impl Cli {
                     queries: opts.parse_or("queries", 500usize)?,
                     k: opts.parse_or("k", 21usize)?,
                     seed: opts.parse_or("seed", 42u64)?,
+                    threads: parse_threads(&opts)?,
                 }
             }
             "measure" => {
-                opts.reject_unknown(&["data", "page-bytes", "m", "queries", "k", "seed"])?;
+                opts.reject_unknown(&[
+                    "data",
+                    "page-bytes",
+                    "m",
+                    "queries",
+                    "k",
+                    "seed",
+                    "threads",
+                ])?;
                 Command::Measure {
                     data: opts.required("data")?,
                     page_bytes: opts.parse_or("page-bytes", 8192usize)?,
@@ -251,6 +287,7 @@ impl Cli {
                     queries: opts.parse_or("queries", 500usize)?,
                     k: opts.parse_or("k", 21usize)?,
                     seed: opts.parse_or("seed", 42u64)?,
+                    threads: parse_threads(&opts)?,
                 }
             }
             "generate" => {
@@ -283,22 +320,24 @@ mod tests {
                 data,
                 page_bytes,
                 m,
-                method,
+                predictor,
                 queries,
                 k,
                 h_upper,
                 zeta,
                 seed,
+                threads,
             } => {
                 assert_eq!(data, "a.csv");
                 assert_eq!(page_bytes, 8192);
                 assert_eq!(m, 1000);
-                assert_eq!(method, Method::Resampled);
+                assert_eq!(predictor, "resampled");
                 assert_eq!(queries, 500);
                 assert_eq!(k, 21);
                 assert_eq!(h_upper, None);
                 assert_eq!(zeta, None);
                 assert_eq!(seed, 42);
+                assert_eq!(threads, None);
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -307,25 +346,42 @@ mod tests {
     #[test]
     fn parses_overrides() {
         let cli = Cli::parse(&argv(
-            "predict --data a.csv --m 500 --method basic --zeta 0.3 --queries 10 --k 5 --seed 7",
+            "predict --data a.csv --m 500 --predictor basic --zeta 0.3 --queries 10 --k 5 \
+             --seed 7 --threads 2",
         ))
         .unwrap();
         match cli.command {
             Command::Predict {
-                method,
+                predictor,
                 zeta,
                 queries,
                 k,
                 seed,
+                threads,
                 ..
             } => {
-                assert_eq!(method, Method::Basic);
+                assert_eq!(predictor, "basic");
                 assert_eq!(zeta, Some(0.3));
                 assert_eq!(queries, 10);
                 assert_eq!(k, 5);
                 assert_eq!(seed, 7);
+                assert_eq!(threads, Some(2));
             }
             other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_registry_name_parses() {
+        for &name in PREDICTOR_NAMES {
+            let cli = Cli::parse(&argv(&format!(
+                "predict --data a.csv --m 10 --predictor {name}"
+            )))
+            .unwrap();
+            match cli.command {
+                Command::Predict { predictor, .. } => assert_eq!(predictor, name),
+                other => panic!("wrong command: {other:?}"),
+            }
         }
     }
 
@@ -334,8 +390,10 @@ mod tests {
         assert!(Cli::parse(&argv("predict --data a.csv")).is_err()); // no --m
         assert!(Cli::parse(&argv("predict --m 10")).is_err()); // no --data
         assert!(Cli::parse(&argv("predict --data a.csv --m ten")).is_err());
-        assert!(Cli::parse(&argv("predict --data a.csv --m 10 --method x")).is_err());
+        assert!(Cli::parse(&argv("predict --data a.csv --m 10 --predictor x")).is_err());
         assert!(Cli::parse(&argv("predict --data a.csv --m 10 --bogus 1")).is_err());
+        assert!(Cli::parse(&argv("predict --data a.csv --m 10 --threads 0")).is_err());
+        assert!(Cli::parse(&argv("measure --data a.csv --m 10 --threads zero")).is_err());
         assert!(Cli::parse(&argv("frobnicate")).is_err());
         assert!(Cli::parse(&argv("info --data a.csv extra")).is_err());
     }

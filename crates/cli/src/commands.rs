@@ -1,18 +1,16 @@
 //! Command implementations, returning their report as a `String` so they
 //! are testable without capturing stdout.
 
-use crate::args::{Cli, Command, Method};
+use crate::args::{Cli, Command};
 use crate::csvio;
+use hdidx_baselines::{by_name, PredictorConfig, PREDICTOR_NAMES};
 use hdidx_core::Dataset;
 use hdidx_datagen::registry::NamedDataset;
 use hdidx_datagen::workload::Workload;
 use hdidx_diskio::external::ExternalConfig;
 use hdidx_diskio::measure::measure_on_disk;
 use hdidx_diskio::DiskModel;
-use hdidx_model::{
-    hupper, predict_basic, predict_cutoff, predict_resampled, BasicParams, CutoffParams,
-    Prediction, QueryBall, ResampledParams,
-};
+use hdidx_model::{hupper, Prediction, QueryBall};
 use hdidx_vamsplit::topology::{PageConfig, Topology};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -35,23 +33,27 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             data,
             page_bytes,
             m,
-            method,
+            predictor,
             queries,
             k,
             h_upper,
             zeta,
             seed,
-        } => predict(
-            Path::new(data),
-            *page_bytes,
-            *m,
-            *method,
-            *queries,
-            *k,
-            *h_upper,
-            *zeta,
-            *seed,
-        ),
+            threads,
+        } => {
+            apply_threads(*threads);
+            predict(
+                Path::new(data),
+                *page_bytes,
+                *m,
+                predictor,
+                *queries,
+                *k,
+                *h_upper,
+                *zeta,
+                *seed,
+            )
+        }
         Command::Measure {
             data,
             page_bytes,
@@ -59,7 +61,11 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             queries,
             k,
             seed,
-        } => measure(Path::new(data), *page_bytes, *m, *queries, *k, *seed),
+            threads,
+        } => {
+            apply_threads(*threads);
+            measure(Path::new(data), *page_bytes, *m, *queries, *k, *seed)
+        }
         Command::Compare {
             data,
             page_bytes,
@@ -67,7 +73,19 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             queries,
             k,
             seed,
-        } => compare(Path::new(data), *page_bytes, *m, *queries, *k, *seed),
+            threads,
+        } => {
+            apply_threads(*threads);
+            compare(Path::new(data), *page_bytes, *m, *queries, *k, *seed)
+        }
+    }
+}
+
+/// Applies `--threads` for this process. Results are identical for any
+/// thread count; this only changes wall-clock time.
+fn apply_threads(threads: Option<usize>) {
+    if let Some(t) = threads {
+        hdidx_pool::set_threads(t);
     }
 }
 
@@ -144,12 +162,50 @@ fn generate(dataset: &str, scale: f64, out: &Path) -> Result<String, String> {
     ))
 }
 
+/// Describes a registry predictor with the parameters that matter for it.
+fn describe(name: &str, cfg: &PredictorConfig) -> String {
+    match name {
+        "basic" => format!("basic (zeta = {:.4})", cfg.zeta),
+        "cutoff" | "resampled" => format!("{name} (h_upper = {})", cfg.h_upper),
+        other => other.to_string(),
+    }
+}
+
+/// Builds the shared predictor configuration from CLI options, resolving
+/// the upper-tree height only when `name` actually needs one.
+#[allow(clippy::too_many_arguments)]
+fn resolve_config(
+    name: &str,
+    dataset: &Dataset,
+    topo: &Topology,
+    m: usize,
+    k: usize,
+    h_upper: Option<usize>,
+    zeta: Option<f64>,
+    seed: u64,
+) -> Result<PredictorConfig, String> {
+    let needs_h = matches!(name, "cutoff" | "resampled");
+    let h = match (h_upper, needs_h) {
+        (Some(h), _) => h,
+        (None, true) => hupper::recommended_h_upper(topo, m).map_err(|e| e.to_string())?,
+        (None, false) => PredictorConfig::default().h_upper,
+    };
+    Ok(PredictorConfig {
+        m,
+        h_upper: h,
+        seed,
+        zeta: zeta.unwrap_or((m as f64 / dataset.len() as f64).min(1.0)),
+        knn_k: k,
+        ..PredictorConfig::default()
+    })
+}
+
 #[allow(clippy::too_many_arguments)]
 fn predict(
     data: &Path,
     page_bytes: usize,
     m: usize,
-    method: Method,
+    predictor: &str,
     queries: usize,
     k: usize,
     h_upper: Option<usize>,
@@ -165,66 +221,14 @@ fn predict(
         .map(|q| QueryBall::new(q.center.clone(), q.radius))
         .collect();
     let disk = DiskModel::paper_with_page_bytes(page_bytes);
+    let cfg = resolve_config(predictor, &dataset, &topo, m, k, h_upper, zeta, seed)?;
+    let model =
+        by_name(predictor, &cfg).ok_or_else(|| format!("unknown predictor `{predictor}`"))?;
+    let prediction = model
+        .predict(&dataset, &topo, &balls)
+        .map_err(|e| e.to_string())?;
     let mut out = String::new();
-    let (label, prediction): (String, Prediction) = match method {
-        Method::Basic => {
-            let z = zeta.unwrap_or((m as f64 / dataset.len() as f64).min(1.0));
-            let p = predict_basic(
-                &dataset,
-                &topo,
-                &balls,
-                &BasicParams {
-                    zeta: z,
-                    compensate: true,
-                    seed,
-                },
-            )
-            .map_err(|e| e.to_string())?;
-            (format!("basic (zeta = {z:.4})"), p)
-        }
-        Method::Cutoff => {
-            let h = match h_upper {
-                Some(h) => h,
-                None => hupper::recommended_h_upper(&topo, m).map_err(|e| e.to_string())?,
-            };
-            let p = predict_cutoff(
-                &dataset,
-                &topo,
-                &balls,
-                &CutoffParams {
-                    m,
-                    h_upper: h,
-                    seed,
-                },
-            )
-            .map_err(|e| e.to_string())?;
-            (format!("cutoff (h_upper = {h})"), p.prediction)
-        }
-        Method::Resampled => {
-            let h = match h_upper {
-                Some(h) => h,
-                None => hupper::recommended_h_upper(&topo, m).map_err(|e| e.to_string())?,
-            };
-            let p = predict_resampled(
-                &dataset,
-                &topo,
-                &balls,
-                &ResampledParams {
-                    m,
-                    h_upper: h,
-                    seed,
-                },
-            )
-            .map_err(|e| e.to_string())?;
-            let _ = writeln!(
-                out,
-                "sigma_upper = {:.4}, sigma_lower = {:.4}, k = {}",
-                p.sigma_upper, p.sigma_lower, p.k
-            );
-            (format!("resampled (h_upper = {h})"), p.prediction)
-        }
-    };
-    let _ = writeln!(out, "method: {label}");
+    let _ = writeln!(out, "predictor: {}", describe(predictor, &cfg));
     let _ = writeln!(
         out,
         "predicted leaf accesses per {k}-NN query: {:.1} (of {} pages)",
@@ -233,9 +237,8 @@ fn predict(
     );
     let _ = writeln!(
         out,
-        "prediction I/O: {} seeks + {} transfers = {:.3} s under the paper's disk model",
-        prediction.io.seeks,
-        prediction.io.transfers,
+        "prediction I/O: {} = {:.3} s under the paper's disk model",
+        prediction.io,
         disk.cost_seconds(prediction.io)
     );
     Ok(out)
@@ -269,16 +272,8 @@ fn measure(
         measured.avg_leaf_accesses(),
         topo.leaf_pages()
     );
-    let _ = writeln!(
-        out,
-        "build I/O:  {} seeks + {} transfers",
-        measured.build_io.seeks, measured.build_io.transfers
-    );
-    let _ = writeln!(
-        out,
-        "query I/O:  {} seeks + {} transfers",
-        measured.query_io.seeks, measured.query_io.transfers
-    );
+    let _ = writeln!(out, "build I/O:  {}", measured.build_io);
+    let _ = writeln!(out, "query I/O:  {}", measured.query_io);
     let _ = writeln!(
         out,
         "total: {:.3} s under the paper's disk model",
@@ -335,57 +330,18 @@ fn compare(
             let _ = writeln!(out, "  {name:<22} n/a ({e})");
         }
     };
-    let zeta = (m as f64 / dataset.len() as f64).min(1.0);
-    line(
-        "basic",
-        predict_basic(
-            &dataset,
-            &topo,
-            &balls,
-            &BasicParams {
-                zeta,
-                compensate: true,
-                seed,
-            },
-        )
-        .map_err(|e| e.to_string()),
-    );
-    let h = hupper::recommended_h_upper(&topo, m).map_err(|e| e.to_string());
-    match h {
-        Ok(h) => {
-            line(
-                &format!("cutoff (h={h})"),
-                predict_cutoff(
-                    &dataset,
-                    &topo,
-                    &balls,
-                    &CutoffParams {
-                        m,
-                        h_upper: h,
-                        seed,
-                    },
-                )
-                .map(|p| p.prediction)
-                .map_err(|e| e.to_string()),
-            );
-            line(
-                &format!("resampled (h={h})"),
-                predict_resampled(
-                    &dataset,
-                    &topo,
-                    &balls,
-                    &ResampledParams {
-                        m,
-                        h_upper: h,
-                        seed,
-                    },
-                )
-                .map(|p| p.prediction)
-                .map_err(|e| e.to_string()),
-            );
-        }
-        Err(e) => {
-            let _ = writeln!(out, "  phase predictors n/a ({e})");
+    for &name in PREDICTOR_NAMES {
+        let result =
+            resolve_config(name, &dataset, &topo, m, k, None, None, seed).and_then(|cfg| {
+                by_name(name, &cfg)
+                    .expect("registry covers every PREDICTOR_NAMES entry")
+                    .predict(&dataset, &topo, &balls)
+                    .map(|p| (p, cfg))
+                    .map_err(|e| e.to_string())
+            });
+        match result {
+            Ok((p, cfg)) => line(&describe(name, &cfg), Ok(p)),
+            Err(e) => line(name, Err(e)),
         }
     }
     Ok(out)
@@ -428,11 +384,18 @@ mod tests {
         assert!(out.contains("predicted leaf accesses"), "{out}");
 
         let out = run(&format!(
-            "predict --data {} --m 200 --method basic --zeta 0.5 --queries 10 --k 5",
+            "predict --data {} --m 200 --predictor basic --zeta 0.5 --queries 10 --k 5",
             csv.display()
         ))
         .unwrap();
         assert!(out.contains("basic (zeta = 0.5000)"), "{out}");
+
+        let out = run(&format!(
+            "predict --data {} --m 200 --predictor uniform --queries 10 --k 5 --threads 2",
+            csv.display()
+        ))
+        .unwrap();
+        assert!(out.contains("predictor: uniform"), "{out}");
 
         let out = run(&format!(
             "measure --data {} --m 200 --queries 10 --k 5",
@@ -448,6 +411,8 @@ mod tests {
         .unwrap();
         assert!(out.contains("basic"), "{out}");
         assert!(out.contains("resampled"), "{out}");
+        assert!(out.contains("uniform"), "{out}");
+        assert!(out.contains("fractal"), "{out}");
         assert!(out.contains("% error"), "{out}");
         std::fs::remove_file(&csv).ok();
     }

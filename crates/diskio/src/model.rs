@@ -1,5 +1,6 @@
 //! Disk cost model and I/O counters.
 
+use std::fmt;
 use std::ops::{Add, AddAssign};
 
 /// Seek/transfer counters, the unit of cost throughout the reproduction.
@@ -13,6 +14,7 @@ pub struct IoStats {
 
 impl IoStats {
     /// A single sequential run: one seek followed by `pages` transfers.
+    #[must_use]
     pub fn run(pages: u64) -> IoStats {
         IoStats {
             seeks: 1,
@@ -21,11 +23,21 @@ impl IoStats {
     }
 
     /// `n` random page accesses: `n` seeks and `n` transfers.
+    #[must_use]
     pub fn random(n: u64) -> IoStats {
         IoStats {
             seeks: n,
             transfers: n,
         }
+    }
+}
+
+/// The canonical human-readable rendering, used by the CLI and the bench
+/// binaries instead of hand-formatting the counters:
+/// `"<seeks> seeks, <transfers> page transfers"`.
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} seeks, {} page transfers", self.seeks, self.transfers)
     }
 }
 
@@ -123,6 +135,15 @@ mod tests {
     fn page_size_scales_transfer_cost() {
         let m64 = DiskModel::paper_with_page_bytes(65_536);
         assert!((m64.t_xfer_s() - 8.0 * DiskModel::PAPER.t_xfer_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_both_counters() {
+        let io = IoStats {
+            seeks: 3,
+            transfers: 42,
+        };
+        assert_eq!(io.to_string(), "3 seeks, 42 page transfers");
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! compensated and uncompensated variants are compared across sample sizes.
 
 use crate::compensation::growth_factor;
+use crate::predictor::Predictor;
 use crate::{Prediction, QueryBall};
 use hdidx_core::rng::{bernoulli_sample, seeded};
 use hdidx_core::{Dataset, Error, Result};
 use hdidx_diskio::IoStats;
+use hdidx_pool::Pool;
 use hdidx_vamsplit::bulkload::bulk_load_scaled;
 use hdidx_vamsplit::query::count_sphere_intersections;
 use hdidx_vamsplit::topology::Topology;
@@ -27,10 +29,60 @@ pub struct BasicParams {
     pub seed: u64,
 }
 
+/// The §3 basic model as a reusable [`Predictor`].
+#[derive(Debug, Clone, Copy)]
+pub struct Basic {
+    params: BasicParams,
+}
+
+impl Basic {
+    /// Wraps the parameters into a predictor instance.
+    pub fn new(params: BasicParams) -> Basic {
+        Basic { params }
+    }
+
+    /// The wrapped parameters.
+    pub fn params(&self) -> &BasicParams {
+        &self.params
+    }
+
+    /// Runs the prediction (same as the trait's `predict`; kept inherent
+    /// for symmetry with [`crate::Cutoff::run`] and
+    /// [`crate::Resampled::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any sampling or bulk-load failure.
+    pub fn run(
+        &self,
+        data: &Dataset,
+        topo: &Topology,
+        queries: &[QueryBall],
+    ) -> Result<Prediction> {
+        predict_basic(data, topo, queries, &self.params)
+    }
+}
+
+impl Predictor for Basic {
+    fn name(&self) -> &str {
+        "basic"
+    }
+
+    fn predict(
+        &self,
+        data: &Dataset,
+        topo: &Topology,
+        queries: &[QueryBall],
+    ) -> Result<Prediction> {
+        self.run(data, topo, queries)
+    }
+}
+
 /// Runs the basic model.
 ///
 /// The reported I/O is one sequential scan of the dataset (the sample is
-/// collected during a scan); memory is assumed unlimited (§3).
+/// collected during a scan); memory is assumed unlimited (§3). Query
+/// counting fans out over the current [`Pool`].
 ///
 /// # Errors
 ///
@@ -66,10 +118,9 @@ pub fn predict_basic(
     for leaf in mini.leaves() {
         pages.push(leaf.rect.scaled_about_center(applied)?);
     }
-    let per_query: Vec<u64> = queries
-        .iter()
-        .map(|q| count_sphere_intersections(&pages, &q.center, q.radius))
-        .collect();
+    let per_query: Vec<u64> = Pool::current().par_map(queries, |q| {
+        count_sphere_intersections(&pages, &q.center, q.radius)
+    });
     let scan_pages = (n as u64).div_ceil(topo.cap_data() as u64);
     Ok(Prediction {
         per_query,

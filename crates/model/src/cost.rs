@@ -53,21 +53,25 @@ impl CostInputs {
     }
 
     /// Eq. 2: reading `q` query points randomly.
+    #[must_use]
     pub fn read_query_points(&self) -> IoStats {
         IoStats::random(self.q as u64)
     }
 
     /// Eq. (unnumbered, §4.3): one sequential scan of the dataset.
+    #[must_use]
     pub fn scan_dataset(&self) -> IoStats {
         IoStats::run(self.data_pages())
     }
 
     /// Eq. 3: total cost of the cutoff prediction.
+    #[must_use]
     pub fn cutoff(&self) -> IoStats {
         self.read_query_points() + self.scan_dataset()
     }
 
     /// Eq. 4: the resampling step for a given `h_upper`.
+    #[must_use]
     pub fn resampling(&self, h_upper: usize) -> IoStats {
         let sigma_lower = hupper::sigma_lower(&self.topo, self.m, h_upper);
         let k = self.topo.upper_leaf_count(h_upper);
@@ -82,6 +86,7 @@ impl CostInputs {
     }
 
     /// §4.4: reading the `k` areas back to build the lower trees.
+    #[must_use]
     pub fn build_lower_subtrees(&self, h_upper: usize) -> IoStats {
         let k = self.topo.upper_leaf_count(h_upper);
         let pages = (self.m as f64 / self.b() as f64).ceil() as u64;
@@ -92,6 +97,7 @@ impl CostInputs {
     }
 
     /// Eq. 5: total cost of the resampled prediction.
+    #[must_use]
     pub fn resampled(&self, h_upper: usize) -> IoStats {
         self.read_query_points()
             + self.scan_dataset()
@@ -118,6 +124,7 @@ impl CostInputs {
     /// `io_buf_pages` chunk, matching the buffered-run pattern). Once
     /// subtrees fit in memory, the remaining data is read once per subtree
     /// and the finished pages are written once.
+    #[must_use]
     pub fn on_disk_build(&self) -> IoStats {
         let topo = &self.topo;
         let n_pages = self.data_pages();
@@ -161,6 +168,7 @@ impl CostInputs {
     }
 
     /// Seconds for a counter under this model.
+    #[must_use]
     pub fn seconds(&self, io: IoStats) -> f64 {
         self.disk.cost_seconds(io)
     }

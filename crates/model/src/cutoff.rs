@@ -9,10 +9,12 @@
 //! full-scale page layout at **zero additional I/O** beyond the initial
 //! scan — the cheapest and least accurate of the paper's predictors.
 
+use crate::predictor::Predictor;
 use crate::upper::build_upper_phase;
 use crate::{Prediction, QueryBall};
 use hdidx_core::{Dataset, HyperRect, Result};
 use hdidx_diskio::IoStats;
+use hdidx_pool::Pool;
 use hdidx_vamsplit::query::count_sphere_intersections;
 use hdidx_vamsplit::topology::Topology;
 
@@ -39,10 +41,99 @@ pub struct CutoffPrediction {
     pub k: usize,
 }
 
+/// The §4.3 cutoff predictor as a reusable [`Predictor`].
+#[derive(Debug, Clone, Copy)]
+pub struct Cutoff {
+    params: CutoffParams,
+}
+
+impl Cutoff {
+    /// Wraps the parameters into a predictor instance.
+    pub fn new(params: CutoffParams) -> Cutoff {
+        Cutoff { params }
+    }
+
+    /// The wrapped parameters.
+    pub fn params(&self) -> &CutoffParams {
+        &self.params
+    }
+
+    /// Runs the predictor, returning the cutoff-specific outputs
+    /// (`sigma_upper`, `k`) alongside the generic [`Prediction`].
+    ///
+    /// I/O charged (Eq. 3): `q` random reads for the query points plus one
+    /// sequential scan of the dataset (which also collects the `M`
+    /// sample). Query counting fans out over the current [`Pool`];
+    /// results are identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates upper-phase errors (infeasible `h_upper`, sample too
+    /// small).
+    pub fn run(
+        &self,
+        data: &Dataset,
+        topo: &Topology,
+        queries: &[QueryBall],
+    ) -> Result<CutoffPrediction> {
+        let params = &self.params;
+        crate::validate_balls(queries, topo.dim())?;
+        let up = build_upper_phase(data, topo, params.m, params.h_upper, params.seed)?;
+        // Synthesize the full-scale data-page layout below every grown leaf.
+        let mut pages: Vec<HyperRect> = Vec::new();
+        for (i, rect) in up.grown_leaves.iter().enumerate() {
+            // Unbiased estimate of the full-scale point count below this leaf:
+            // its sample count scaled back by the sampling rate.
+            let n_full = (up.leaf_samples[i].len() as f64 / up.sigma_upper).max(2.0);
+            synthesize_pages(rect, up.leaf_level, n_full, topo, &mut pages);
+        }
+        let pool = Pool::current();
+        let per_query: Vec<u64> = pool.par_map(queries, |q| {
+            count_sphere_intersections(&pages, &q.center, q.radius)
+        });
+        let io = self.analytic_io(topo, queries.len());
+        Ok(CutoffPrediction {
+            prediction: Prediction {
+                per_query,
+                io,
+                predicted_leaf_pages: pages.len(),
+            },
+            sigma_upper: up.sigma_upper,
+            k: up.k(),
+        })
+    }
+
+    fn analytic_io(&self, topo: &Topology, q: usize) -> IoStats {
+        let scan_pages = (topo.n() as u64).div_ceil(topo.cap_data() as u64);
+        IoStats::random(q as u64) + IoStats::run(scan_pages)
+    }
+}
+
+impl Predictor for Cutoff {
+    fn name(&self) -> &str {
+        "cutoff"
+    }
+
+    fn predict(
+        &self,
+        data: &Dataset,
+        topo: &Topology,
+        queries: &[QueryBall],
+    ) -> Result<Prediction> {
+        Ok(self.run(data, topo, queries)?.prediction)
+    }
+
+    fn io_cost(&self, _data: &Dataset, topo: &Topology, queries: &[QueryBall]) -> Result<IoStats> {
+        // Closed form (Eq. 3): the cutoff bill does not depend on the data.
+        Ok(self.analytic_io(topo, queries.len()))
+    }
+}
+
 /// Runs the cutoff predictor for `queries`.
 ///
-/// I/O charged (Eq. 3): `q` random reads for the query points plus one
-/// sequential scan of the dataset (which also collects the `M` sample).
+/// **Deprecated in favor of [`Cutoff`]** (`Cutoff::new(params).run(…)`),
+/// which also implements the unified [`Predictor`] trait; this free
+/// function remains as a thin compatibility wrapper.
 ///
 /// # Errors
 ///
@@ -53,31 +144,7 @@ pub fn predict_cutoff(
     queries: &[QueryBall],
     params: &CutoffParams,
 ) -> Result<CutoffPrediction> {
-    crate::validate_balls(queries, topo.dim())?;
-    let up = build_upper_phase(data, topo, params.m, params.h_upper, params.seed)?;
-    // Synthesize the full-scale data-page layout below every grown leaf.
-    let mut pages: Vec<HyperRect> = Vec::new();
-    for (i, rect) in up.grown_leaves.iter().enumerate() {
-        // Unbiased estimate of the full-scale point count below this leaf:
-        // its sample count scaled back by the sampling rate.
-        let n_full = (up.leaf_samples[i].len() as f64 / up.sigma_upper).max(2.0);
-        synthesize_pages(rect, up.leaf_level, n_full, topo, &mut pages);
-    }
-    let per_query: Vec<u64> = queries
-        .iter()
-        .map(|q| count_sphere_intersections(&pages, &q.center, q.radius))
-        .collect();
-    let scan_pages = (topo.n() as u64).div_ceil(topo.cap_data() as u64);
-    let io = IoStats::random(queries.len() as u64) + IoStats::run(scan_pages);
-    Ok(CutoffPrediction {
-        prediction: Prediction {
-            per_query,
-            io,
-            predicted_leaf_pages: pages.len(),
-        },
-        sigma_upper: up.sigma_upper,
-        k: up.k(),
-    })
+    Cutoff::new(*params).run(data, topo, queries)
 }
 
 /// Replays the bulk loader's splits geometrically inside `rect` (full-scale

@@ -30,6 +30,20 @@
 //! All predictors report both the estimate and the [`IoStats`] they would
 //! incur, measured through the same simulated disk as the on-disk baseline.
 //!
+//! ## The [`Predictor`] trait
+//!
+//! Every estimator is also exposed through the unified
+//! [`predictor::Predictor`] trait ([`Basic`], [`Cutoff`], [`Resampled`]
+//! here; the prior-art baselines in `hdidx-baselines`), so comparison
+//! experiments iterate over `&[&dyn Predictor]`. The free functions
+//! ([`predict_basic`], [`predict_cutoff`], [`predict_resampled`]) remain as
+//! thin compatibility wrappers around the trait implementations.
+//!
+//! Predictors are **deterministic for any thread count**: the parallel hot
+//! paths (per-query sphere counting, the resampled predictor's lower-tree
+//! builds) go through `hdidx-pool`, whose order-preserving combinators make
+//! the output independent of scheduling.
+//!
 //! [`IoStats`]: hdidx_diskio::IoStats
 
 pub mod basic;
@@ -37,15 +51,17 @@ pub mod compensation;
 pub mod cost;
 pub mod cutoff;
 pub mod hupper;
+pub mod predictor;
 pub mod resampled;
 pub mod structures;
 pub mod upper;
 
-pub use basic::{predict_basic, BasicParams};
+pub use basic::{predict_basic, Basic, BasicParams};
 pub use cost::CostInputs;
-pub use cutoff::{predict_cutoff, CutoffParams};
+pub use cutoff::{predict_cutoff, Cutoff, CutoffParams};
 pub use hupper::{h_upper_bounds, recommended_h_upper};
-pub use resampled::{predict_resampled, ResampledParams};
+pub use predictor::Predictor;
+pub use resampled::{predict_resampled, Resampled, ResampledParams};
 
 use hdidx_diskio::IoStats;
 
@@ -101,6 +117,7 @@ pub struct Prediction {
 
 impl Prediction {
     /// Average predicted leaf accesses per query.
+    #[must_use]
     pub fn avg_leaf_accesses(&self) -> f64 {
         if self.per_query.is_empty() {
             return 0.0;
@@ -110,6 +127,7 @@ impl Prediction {
 
     /// Relative error against a measured average (signed; negative =
     /// underestimation), as reported in the paper's Table 3.
+    #[must_use]
     pub fn relative_error(&self, measured_avg: f64) -> f64 {
         if measured_avg == 0.0 {
             return 0.0;

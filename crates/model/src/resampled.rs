@@ -17,12 +17,14 @@
 
 use crate::compensation::growth_factor;
 use crate::hupper::sigma_lower;
+use crate::predictor::Predictor;
 use crate::upper::build_upper_phase;
 use crate::{Prediction, QueryBall};
 use hdidx_core::rng::{bernoulli_sample, seeded};
 use hdidx_core::{Dataset, HyperRect, Result};
 use hdidx_diskio::{Disk, IoStats};
-use hdidx_vamsplit::bulkload::bulk_load_subtree;
+use hdidx_pool::Pool;
+use hdidx_vamsplit::bulkload::bulk_load_subtree_with;
 use hdidx_vamsplit::query::count_sphere_intersections;
 use hdidx_vamsplit::topology::Topology;
 
@@ -50,7 +52,67 @@ pub struct ResampledPrediction {
     pub k: usize,
 }
 
+/// The §4.4 resampled predictor as a reusable [`Predictor`].
+#[derive(Debug, Clone, Copy)]
+pub struct Resampled {
+    params: ResampledParams,
+}
+
+impl Resampled {
+    /// Wraps the parameters into a predictor instance.
+    pub fn new(params: ResampledParams) -> Resampled {
+        Resampled { params }
+    }
+
+    /// The wrapped parameters.
+    pub fn params(&self) -> &ResampledParams {
+        &self.params
+    }
+
+    /// Runs the predictor, returning the resampled-specific outputs
+    /// (`sigma_upper`, `sigma_lower`, `k`) alongside the generic
+    /// [`Prediction`].
+    ///
+    /// The `k` in-memory lower-tree builds and the per-query sphere
+    /// counting fan out over the current [`Pool`]; the I/O charging
+    /// replays the paper's sequential access pattern unchanged, so the
+    /// result — counts *and* I/O bill — is identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates upper-phase errors and the §4.5 feasibility violations
+    /// (e.g. `σ_lower · C_eff,data ≤ 1`, which surfaces as a compensation
+    /// domain error advising a taller upper tree).
+    pub fn run(
+        &self,
+        data: &Dataset,
+        topo: &Topology,
+        queries: &[QueryBall],
+    ) -> Result<ResampledPrediction> {
+        predict_resampled_impl(data, topo, queries, &self.params)
+    }
+}
+
+impl Predictor for Resampled {
+    fn name(&self) -> &str {
+        "resampled"
+    }
+
+    fn predict(
+        &self,
+        data: &Dataset,
+        topo: &Topology,
+        queries: &[QueryBall],
+    ) -> Result<Prediction> {
+        Ok(self.run(data, topo, queries)?.prediction)
+    }
+}
+
 /// Runs the resampled predictor for `queries`.
+///
+/// **Deprecated in favor of [`Resampled`]** (`Resampled::new(params)
+/// .run(…)`), which also implements the unified [`Predictor`] trait; this
+/// free function remains as a thin compatibility wrapper.
 ///
 /// # Errors
 ///
@@ -58,6 +120,15 @@ pub struct ResampledPrediction {
 /// (e.g. `σ_lower · C_eff,data ≤ 1`, which surfaces as a compensation
 /// domain error advising a taller upper tree).
 pub fn predict_resampled(
+    data: &Dataset,
+    topo: &Topology,
+    queries: &[QueryBall],
+    params: &ResampledParams,
+) -> Result<ResampledPrediction> {
+    predict_resampled_impl(data, topo, queries, params)
+}
+
+fn predict_resampled_impl(
     data: &Dataset,
     topo: &Topology,
     queries: &[QueryBall],
@@ -143,7 +214,11 @@ pub fn predict_resampled(
     let _ = chunk_count;
 
     // ---- Steps 8–11: build each lower tree in memory -------------------
-    let mut pages: Vec<HyperRect> = Vec::new();
+    // The disk charging replays the sequential area read-back; the
+    // in-memory builds are independent per area and fan out over the pool
+    // (sharing its budget with the nested bulk-load parallelism). Flattening
+    // in area order keeps the page list identical to the serial path.
+    let mut tasks: Vec<(Vec<u32>, f64)> = Vec::new();
     for (bi, ids) in assigned.iter().enumerate() {
         if ids.is_empty() {
             continue;
@@ -155,16 +230,25 @@ pub fn predict_resampled(
         // leaf: the area's sample count scaled back by sigma_lower (exact
         // when sigma_lower = 1).
         let n_full = (ids.len() as f64 / s_lower).max(2.0);
-        let lower = bulk_load_subtree(data, ids.clone(), topo, n_full, up.leaf_level)?;
+        tasks.push((ids.clone(), n_full));
+    }
+    let pool = Pool::current();
+    let built = pool.par_map_vec(tasks, |(ids, n_full)| -> Result<Vec<HyperRect>> {
+        let lower = bulk_load_subtree_with(&pool, data, ids, topo, n_full, up.leaf_level)?;
+        let mut grown = Vec::with_capacity(lower.num_leaves());
         for leaf in lower.leaves() {
-            pages.push(leaf.rect.scaled_about_center(leaf_factor)?);
+            grown.push(leaf.rect.scaled_about_center(leaf_factor)?);
         }
+        Ok(grown)
+    });
+    let mut pages: Vec<HyperRect> = Vec::new();
+    for group in built {
+        pages.extend(group?);
     }
 
-    let per_query: Vec<u64> = queries
-        .iter()
-        .map(|q| count_sphere_intersections(&pages, &q.center, q.radius))
-        .collect();
+    let per_query: Vec<u64> = pool.par_map(queries, |q| {
+        count_sphere_intersections(&pages, &q.center, q.radius)
+    });
     Ok(ResampledPrediction {
         prediction: Prediction {
             per_query,

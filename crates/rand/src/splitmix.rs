@@ -27,6 +27,7 @@ impl SplitMix64 {
 
     /// Advances the Weyl sequence and mixes out one 64-bit value.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // established generator idiom, not an Iterator
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(GOLDEN_GAMMA);
         mix(self.state)

@@ -35,7 +35,7 @@ pub fn bernoulli_sample<R: Rng>(rng: &mut R, n: usize, fraction: f64) -> Vec<u32
     }
     // `fraction.is_nan()` falls through both comparisons; fold it into the
     // empty case instead of scanning n draws that can never hit.
-    if !(fraction > 0.0) || n == 0 {
+    if fraction <= 0.0 || fraction.is_nan() || n == 0 {
         return Vec::new();
     }
     // Pre-allocate mean + 4σ of the Binomial(n, fraction) size, capped at

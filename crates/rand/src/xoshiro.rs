@@ -52,6 +52,7 @@ impl Xoshiro256pp {
 
     /// Advances the engine one step and returns the scrambled output.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // established generator idiom, not an Iterator
     pub fn next(&mut self) -> u64 {
         let result = self.s[0]
             .wrapping_add(self.s[3])

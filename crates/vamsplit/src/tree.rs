@@ -48,7 +48,11 @@ impl Node {
 }
 
 /// A bulk-loaded R-tree, mini-index, upper tree or lower tree.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the arenas directly, so equality means the trees
+/// are structurally byte-identical (same node order, same entry order) —
+/// the contract the parallel bulk loader is tested against.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RTree {
     dim: usize,
     root_level: usize,

@@ -7,16 +7,12 @@
 //! cargo run --release --example compare_predictors
 //! ```
 
-use hdidx_repro::baselines::fractal::{estimate_fractal_dims, predict_fractal};
-use hdidx_repro::baselines::uniform::predict_uniform;
+use hdidx_repro::baselines::{by_name, PredictorConfig, PREDICTOR_NAMES};
 use hdidx_repro::datagen::registry::NamedDataset;
 use hdidx_repro::datagen::workload::Workload;
 use hdidx_repro::diskio::external::ExternalConfig;
 use hdidx_repro::diskio::measure::measure_on_disk;
-use hdidx_repro::model::{
-    hupper, predict_basic, predict_cutoff, predict_resampled, BasicParams, CutoffParams, QueryBall,
-    ResampledParams,
-};
+use hdidx_repro::model::{hupper, Predictor, QueryBall};
 use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
 
 fn main() {
@@ -50,64 +46,32 @@ fn main() {
         topo.leaf_pages()
     );
 
-    let report = |name: &str, value: f64| {
-        println!(
-            "  {name:<28} {value:>8.1} accesses/query  ({:+.1}% error)",
-            100.0 * (value - truth) / truth
-        );
-    };
-
-    if let Ok(p) = predict_basic(
-        &data,
-        &topo,
-        &balls,
-        &BasicParams {
-            zeta: 0.2,
-            compensate: true,
-            seed: 6,
-        },
-    ) {
-        report("basic (zeta = 20%)", p.avg_leaf_accesses());
-    }
+    // One configuration drives the whole registry; every model is called
+    // through the same `Predictor` trait.
     let h = hupper::recommended_h_upper(&topo, m).expect("h_upper");
-    if let Ok(p) = predict_cutoff(
-        &data,
-        &topo,
-        &balls,
-        &CutoffParams {
-            m,
-            h_upper: h,
-            seed: 6,
-        },
-    ) {
-        report(
-            &format!("cutoff (h_upper = {h})"),
-            p.prediction.avg_leaf_accesses(),
-        );
-    }
-    if let Ok(p) = predict_resampled(
-        &data,
-        &topo,
-        &balls,
-        &ResampledParams {
-            m,
-            h_upper: h,
-            seed: 6,
-        },
-    ) {
-        report(
-            &format!("resampled (h_upper = {h})"),
-            p.prediction.avg_leaf_accesses(),
-        );
-    }
-    if let Ok(p) = predict_uniform(&topo, workload.k) {
-        report("uniform baseline", p);
-    }
-    if let Ok(dims) = estimate_fractal_dims(&data, 6) {
-        let mbr = data.mbr().expect("mbr");
-        let side = (0..data.dim()).map(|j| mbr.extent(j)).fold(0.0, f64::max);
-        if let Ok(p) = predict_fractal(&topo, &dims, workload.mean_radius(), side) {
-            report(&format!("fractal (D0 = {:.2})", dims.d0), p);
+    let cfg = PredictorConfig {
+        m,
+        h_upper: h,
+        seed: 6,
+        zeta: 0.2,
+        knn_k: workload.k,
+        ..PredictorConfig::default()
+    };
+    let models: Vec<Box<dyn Predictor>> = PREDICTOR_NAMES
+        .iter()
+        .map(|name| by_name(name, &cfg).expect("registry covers every name"))
+        .collect();
+    for model in &models {
+        match model.predict(&data, &topo, &balls) {
+            Ok(p) => {
+                let value = p.avg_leaf_accesses();
+                println!(
+                    "  {:<28} {value:>8.1} accesses/query  ({:+.1}% error)",
+                    model.name(),
+                    100.0 * (value - truth) / truth
+                );
+            }
+            Err(e) => println!("  {:<28} n/a ({e})", model.name()),
         }
     }
     println!("\n(the sampling-based predictors should be the only accurate ones)");

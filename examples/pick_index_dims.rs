@@ -12,9 +12,7 @@
 
 use hdidx_repro::datagen::registry::NamedDataset;
 use hdidx_repro::datagen::workload::Workload;
-use hdidx_repro::model::{
-    hupper, predict_basic, predict_resampled, BasicParams, QueryBall, ResampledParams,
-};
+use hdidx_repro::model::{hupper, Basic, BasicParams, QueryBall, Resampled, ResampledParams};
 use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
 
 fn main() {
@@ -47,29 +45,21 @@ fn main() {
         // capacity) fall back to the §3 basic mini-index.
         let prediction = hupper::recommended_h_upper(&topo, m)
             .and_then(|h| {
-                predict_resampled(
-                    &proj,
-                    &topo,
-                    &balls,
-                    &ResampledParams {
-                        m,
-                        h_upper: h,
-                        seed: 9,
-                    },
-                )
+                Resampled::new(ResampledParams {
+                    m,
+                    h_upper: h,
+                    seed: 9,
+                })
+                .run(&proj, &topo, &balls)
                 .map(|p| p.prediction)
             })
             .or_else(|_| {
-                predict_basic(
-                    &proj,
-                    &topo,
-                    &balls,
-                    &BasicParams {
-                        zeta: (m as f64 / proj.len() as f64).min(1.0),
-                        compensate: true,
-                        seed: 9,
-                    },
-                )
+                Basic::new(BasicParams {
+                    zeta: (m as f64 / proj.len() as f64).min(1.0),
+                    compensate: true,
+                    seed: 9,
+                })
+                .run(&proj, &topo, &balls)
             });
         match prediction {
             Ok(p) => {

@@ -17,7 +17,7 @@ use hdidx_repro::datagen::workload::Workload;
 use hdidx_repro::diskio::external::ExternalConfig;
 use hdidx_repro::diskio::measure::measure_on_disk;
 use hdidx_repro::diskio::DiskModel;
-use hdidx_repro::model::{hupper, predict_resampled, QueryBall, ResampledParams};
+use hdidx_repro::model::{hupper, QueryBall, Resampled, ResampledParams};
 use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
 
 fn main() {
@@ -55,16 +55,12 @@ fn main() {
     // 4. Predict under a 2,000-point memory budget.
     let m = 2_000;
     let h = hupper::recommended_h_upper(&topo, m).expect("h_upper");
-    let pred = predict_resampled(
-        &data,
-        &topo,
-        &balls,
-        &ResampledParams {
-            m,
-            h_upper: h,
-            seed: 2,
-        },
-    )
+    let pred = Resampled::new(ResampledParams {
+        m,
+        h_upper: h,
+        seed: 2,
+    })
+    .run(&data, &topo, &balls)
     .expect("prediction");
     let disk = DiskModel::PAPER;
     println!(

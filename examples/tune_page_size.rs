@@ -14,9 +14,7 @@
 use hdidx_repro::datagen::registry::NamedDataset;
 use hdidx_repro::datagen::workload::Workload;
 use hdidx_repro::diskio::DiskModel;
-use hdidx_repro::model::{
-    hupper, predict_basic, predict_resampled, BasicParams, QueryBall, ResampledParams,
-};
+use hdidx_repro::model::{hupper, Basic, BasicParams, QueryBall, Resampled, ResampledParams};
 use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
 
 fn main() {
@@ -51,29 +49,21 @@ fn main() {
         // mini-index otherwise (very large pages make the tree flat).
         let prediction = hupper::recommended_h_upper(&topo, m)
             .and_then(|h| {
-                predict_resampled(
-                    &data,
-                    &topo,
-                    &balls,
-                    &ResampledParams {
-                        m,
-                        h_upper: h,
-                        seed: 4,
-                    },
-                )
+                Resampled::new(ResampledParams {
+                    m,
+                    h_upper: h,
+                    seed: 4,
+                })
+                .run(&data, &topo, &balls)
                 .map(|p| p.prediction)
             })
             .or_else(|_| {
-                predict_basic(
-                    &data,
-                    &topo,
-                    &balls,
-                    &BasicParams {
-                        zeta: (m as f64 / data.len() as f64).min(1.0),
-                        compensate: true,
-                        seed: 4,
-                    },
-                )
+                Basic::new(BasicParams {
+                    zeta: (m as f64 / data.len() as f64).min(1.0),
+                    compensate: true,
+                    seed: 4,
+                })
+                .run(&data, &topo, &balls)
             });
         match prediction {
             Ok(p) => {

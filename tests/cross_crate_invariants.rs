@@ -6,7 +6,7 @@ use hdidx_repro::core::rng::Rng;
 use hdidx_repro::core::Dataset;
 use hdidx_repro::diskio::external::{build_on_disk, ExternalConfig};
 use hdidx_repro::model::cost::CostInputs;
-use hdidx_repro::model::{predict_resampled, ResampledParams};
+use hdidx_repro::model::{Resampled, ResampledParams};
 use hdidx_repro::vamsplit::bulkload::bulk_load;
 use hdidx_repro::vamsplit::query::{count_sphere_intersections, knn};
 use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
@@ -72,16 +72,12 @@ fn simulated_resampled_io_tracks_closed_form() {
     let topo = Topology::new(16, 30_000, &PageConfig::DEFAULT).unwrap();
     let m = 2_000;
     for h in 2..topo.height().min(4) {
-        let sim = predict_resampled(
-            &data,
-            &topo,
-            &[],
-            &ResampledParams {
-                m,
-                h_upper: h,
-                seed: 25,
-            },
-        )
+        let sim = Resampled::new(ResampledParams {
+            m,
+            h_upper: h,
+            seed: 25,
+        })
+        .run(&data, &topo, &[])
         .unwrap()
         .prediction
         .io;

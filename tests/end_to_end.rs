@@ -9,8 +9,7 @@ use hdidx_repro::diskio::external::ExternalConfig;
 use hdidx_repro::diskio::measure::measure_on_disk;
 use hdidx_repro::diskio::DiskModel;
 use hdidx_repro::model::{
-    hupper, predict_basic, predict_cutoff, predict_resampled, BasicParams, CutoffParams, QueryBall,
-    ResampledParams,
+    hupper, Basic, BasicParams, Cutoff, CutoffParams, QueryBall, Resampled, ResampledParams,
 };
 use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
 
@@ -64,16 +63,12 @@ fn resampled_prediction_is_accurate_and_cheap() {
     let m = 2_000;
     let p = pipeline(20_000, 24, m, 11);
     let h = hupper::recommended_h_upper(&p.topo, m).unwrap();
-    let pred = predict_resampled(
-        &p.data,
-        &p.topo,
-        &p.balls,
-        &ResampledParams {
-            m,
-            h_upper: h,
-            seed: 12,
-        },
-    )
+    let pred = Resampled::new(ResampledParams {
+        m,
+        h_upper: h,
+        seed: 12,
+    })
+    .run(&p.data, &p.topo, &p.balls)
     .unwrap();
     let err = pred.prediction.relative_error(p.measured_avg);
     assert!(
@@ -93,27 +88,19 @@ fn cutoff_is_cheaper_than_resampled_which_is_cheaper_than_on_disk() {
     let m = 2_000;
     let p = pipeline(20_000, 24, m, 13);
     let h = hupper::recommended_h_upper(&p.topo, m).unwrap();
-    let cut = predict_cutoff(
-        &p.data,
-        &p.topo,
-        &p.balls,
-        &CutoffParams {
-            m,
-            h_upper: h,
-            seed: 14,
-        },
-    )
+    let cut = Cutoff::new(CutoffParams {
+        m,
+        h_upper: h,
+        seed: 14,
+    })
+    .run(&p.data, &p.topo, &p.balls)
     .unwrap();
-    let res = predict_resampled(
-        &p.data,
-        &p.topo,
-        &p.balls,
-        &ResampledParams {
-            m,
-            h_upper: h,
-            seed: 14,
-        },
-    )
+    let res = Resampled::new(ResampledParams {
+        m,
+        h_upper: h,
+        seed: 14,
+    })
+    .run(&p.data, &p.topo, &p.balls)
     .unwrap();
     let disk = DiskModel::PAPER;
     let c_cut = disk.cost_seconds(cut.prediction.io);
@@ -129,16 +116,12 @@ fn cutoff_is_cheaper_than_resampled_which_is_cheaper_than_on_disk() {
 fn basic_model_with_full_sample_reproduces_measurement_exactly() {
     let m = 4_000;
     let p = pipeline(8_000, 16, m, 15);
-    let pred = predict_basic(
-        &p.data,
-        &p.topo,
-        &p.balls,
-        &BasicParams {
-            zeta: 1.0,
-            compensate: true,
-            seed: 16,
-        },
-    )
+    let pred = Basic::new(BasicParams {
+        zeta: 1.0,
+        compensate: true,
+        seed: 16,
+    })
+    .run(&p.data, &p.topo, &p.balls)
     .unwrap();
     assert!(
         (pred.avg_leaf_accesses() - p.measured_avg).abs() < 1e-9,
@@ -184,16 +167,12 @@ fn prediction_error_improves_from_h2_underestimate_towards_recommended() {
     let p = pipeline(30_000, 60, m, 17);
     assert!(p.topo.height() >= 4, "need height >= 4");
     let err_of = |h: usize| {
-        predict_resampled(
-            &p.data,
-            &p.topo,
-            &p.balls,
-            &ResampledParams {
-                m,
-                h_upper: h,
-                seed: 18,
-            },
-        )
+        Resampled::new(ResampledParams {
+            m,
+            h_upper: h,
+            seed: 18,
+        })
+        .run(&p.data, &p.topo, &p.balls)
         .unwrap()
         .prediction
         .relative_error(p.measured_avg)
