@@ -23,6 +23,15 @@ HDIDX_THREADS=1 cargo test -q --offline --workspace
 echo "==> cargo test -q --offline --workspace (default threads)"
 cargo test -q --offline --workspace
 
+# Chaos leg: the whole suite must stay green under ambient low-pressure
+# fault injection (HDIDX_FAULT_SEED reaches the CLI/env-configured paths;
+# the default 2000 ppm rate is always absorbed by bounded retry). Two
+# seeds so a pass never hinges on one lucky fault pattern.
+for fault_seed in 1 20250807; do
+  echo "==> cargo test -q --offline --workspace (HDIDX_FAULT_SEED=${fault_seed})"
+  HDIDX_FAULT_SEED="${fault_seed}" cargo test -q --offline --workspace
+done
+
 echo "==> cargo bench --no-run --offline (bench targets must compile)"
 cargo bench --no-run --offline
 

@@ -17,6 +17,7 @@ use crate::histogram::GridHistogram;
 use crate::uniform::predict_uniform;
 use hdidx_core::{Dataset, Result};
 use hdidx_diskio::IoStats;
+use hdidx_faults::FaultConfig;
 use hdidx_model::predictor::Predictor;
 use hdidx_model::{
     Basic, BasicParams, Cutoff, CutoffParams, Prediction, QueryBall, Resampled, ResampledParams,
@@ -55,6 +56,7 @@ impl Predictor for Uniform {
             per_query: vec![avg.round() as u64; queries.len()],
             io: IoStats::default(),
             predicted_leaf_pages: topo.leaf_pages() as usize,
+            degraded: hdidx_model::DegradedReport::default(),
         })
     }
 }
@@ -97,6 +99,7 @@ impl Predictor for Fractal {
             per_query: vec![avg.round() as u64; queries.len()],
             io: scan_io(topo),
             predicted_leaf_pages: topo.leaf_pages() as usize,
+            degraded: hdidx_model::DegradedReport::default(),
         })
     }
 }
@@ -131,6 +134,7 @@ impl Predictor for Histogram {
             per_query,
             io: scan_io(topo),
             predicted_leaf_pages: topo.leaf_pages() as usize,
+            degraded: hdidx_model::DegradedReport::default(),
         })
     }
 }
@@ -171,6 +175,7 @@ impl Predictor for DistDist {
             // Sampled pairs are random point reads; page-granular bound.
             io: IoStats::random(2 * self.pairs as u64),
             predicted_leaf_pages: layout.pages.len(),
+            degraded: hdidx_model::DegradedReport::default(),
         })
     }
 }
@@ -196,6 +201,9 @@ pub struct PredictorConfig {
     pub bins_per_dim: usize,
     /// Sampled point pairs (distance-distribution model).
     pub pairs: usize,
+    /// Fault-injection plan applied by fault-aware predictors (today only
+    /// the resampled model's second-sample I/O); `None` disables injection.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for PredictorConfig {
@@ -210,6 +218,7 @@ impl Default for PredictorConfig {
             d_grid: 2,
             bins_per_dim: 16,
             pairs: 5_000,
+            faults: None,
         }
     }
 }
@@ -241,11 +250,14 @@ pub fn by_name(name: &str, cfg: &PredictorConfig) -> Option<Box<dyn Predictor>> 
             h_upper: cfg.h_upper,
             seed: cfg.seed,
         }))),
-        "resampled" => Some(Box::new(Resampled::new(ResampledParams {
-            m: cfg.m,
-            h_upper: cfg.h_upper,
-            seed: cfg.seed,
-        }))),
+        "resampled" => Some(Box::new(
+            Resampled::new(ResampledParams {
+                m: cfg.m,
+                h_upper: cfg.h_upper,
+                seed: cfg.seed,
+            })
+            .with_faults(cfg.faults),
+        )),
         "uniform" => Some(Box::new(Uniform { k: cfg.knn_k })),
         "fractal" => Some(Box::new(Fractal {
             levels: cfg.fractal_levels,

@@ -92,7 +92,7 @@ fn table3_phase_predictors(suite: &mut BenchSuite) {
         build_on_disk(
             black_box(&ctx.data),
             &ctx.topo,
-            &ExternalConfig::with_mem_points(m),
+            &ExternalConfig::with_mem_points(m).unwrap(),
         )
         .unwrap()
     });

@@ -41,8 +41,12 @@ fn main() {
         let topo = Topology::new(dims, proj.len(), &PageConfig::DEFAULT).expect("topology");
         // Measurement: build the projected index, count pages within the
         // full-space radius of each projected query center.
-        let built = build_on_disk(&proj, &topo, &ExternalConfig::with_mem_points(proj.len()))
-            .expect("build");
+        let built = build_on_disk(
+            &proj,
+            &topo,
+            &ExternalConfig::with_mem_points(proj.len()).unwrap(),
+        )
+        .expect("build");
         let mut total = 0u64;
         let mut balls = Vec::with_capacity(ctx.balls.len());
         for q in &ctx.workload.queries {

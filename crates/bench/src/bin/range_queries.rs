@@ -24,7 +24,8 @@ fn main() {
         .expect("generate");
     let topo = Topology::new(data.dim(), data.len(), &PageConfig::DEFAULT).expect("topology");
     let m = ((10_000.0 * args.scale) as usize).max(500);
-    let built = build_on_disk(&data, &topo, &ExternalConfig::with_mem_points(m)).expect("build");
+    let built =
+        build_on_disk(&data, &topo, &ExternalConfig::with_mem_points(m).unwrap()).expect("build");
     let h = hupper::recommended_h_upper(&topo, m).expect("h_upper");
     println!(
         "dataset: {} x {}, {} leaf pages, M = {m}, h_upper = {h}",

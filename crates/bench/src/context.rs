@@ -82,7 +82,7 @@ impl ExperimentContext {
             &self.topo,
             &centers,
             self.workload.k,
-            &ExternalConfig::with_mem_points(m),
+            &ExternalConfig::with_mem_points(m).unwrap(),
         )
     }
 }

@@ -47,6 +47,10 @@ pub enum Command {
         seed: u64,
         /// Worker threads (None = available parallelism, 1 = serial).
         threads: Option<usize>,
+        /// Fault-injection seed (None = `HDIDX_FAULT_SEED` or no faults).
+        fault_seed: Option<u64>,
+        /// Fault rate override in ppm (transient; torn/spikes at half).
+        fault_ppm: Option<u32>,
     },
     /// Run every predictor plus the measured ground truth in one report.
     Compare {
@@ -64,6 +68,10 @@ pub enum Command {
         seed: u64,
         /// Worker threads (None = available parallelism, 1 = serial).
         threads: Option<usize>,
+        /// Fault-injection seed (None = `HDIDX_FAULT_SEED` or no faults).
+        fault_seed: Option<u64>,
+        /// Fault rate override in ppm (transient; torn/spikes at half).
+        fault_ppm: Option<u32>,
     },
     /// Build the index (simulated on-disk) and measure ground truth.
     Measure {
@@ -81,6 +89,10 @@ pub enum Command {
         seed: u64,
         /// Worker threads (None = available parallelism, 1 = serial).
         threads: Option<usize>,
+        /// Fault-injection seed (None = `HDIDX_FAULT_SEED` or no faults).
+        fault_seed: Option<u64>,
+        /// Fault rate override in ppm (transient; torn/spikes at half).
+        fault_ppm: Option<u32>,
     },
     /// Generate a named dataset analog as CSV.
     Generate {
@@ -106,15 +118,26 @@ USAGE:
                  [--predictor resampled|cutoff|basic|uniform|fractal|histogram|distdist]
                  [--queries 500] [--k 21] [--h-upper N] [--zeta F]
                  [--page-bytes 8192] [--seed 42] [--threads N]
+                 [--fault-seed S] [--fault-ppm P]
   hdidx measure  --data <csv> --m <points> [--queries 500] [--k 21]
                  [--page-bytes 8192] [--seed 42] [--threads N]
+                 [--fault-seed S] [--fault-ppm P]
   hdidx compare  --data <csv> --m <points> [--queries 500] [--k 21]
                  [--page-bytes 8192] [--seed 42] [--threads N]
+                 [--fault-seed S] [--fault-ppm P]
   hdidx generate --dataset <name> [--scale 1.0] --out <csv>
 
 `--threads 1` forces serial execution; omitting --threads uses the
 HDIDX_THREADS environment variable or the machine's available
 parallelism. Results are identical for any thread count.
+
+`--fault-seed S` injects deterministic I/O faults (transient failures,
+torn reads, latency spikes) into the simulated disk; `--fault-ppm P`
+scales the transient rate in parts per million (default 2000; torn and
+spikes run at half that). Omitting --fault-seed falls back to the
+HDIDX_FAULT_SEED / HDIDX_FAULT_PPM environment variables; without
+either, no faults are injected. The same fault seed reproduces the
+identical fault trace, retry counts, and degraded output.
 ";
 
 struct Opts {
@@ -223,6 +246,8 @@ impl Cli {
                     "zeta",
                     "seed",
                     "threads",
+                    "fault-seed",
+                    "fault-ppm",
                 ])?;
                 let predictor = opts.get("predictor").unwrap_or("resampled").to_string();
                 if !PREDICTOR_NAMES.contains(&predictor.as_str()) {
@@ -244,6 +269,8 @@ impl Cli {
                     zeta: opts.parse_opt("zeta")?,
                     seed: opts.parse_or("seed", 42u64)?,
                     threads: parse_threads(&opts)?,
+                    fault_seed: opts.parse_opt("fault-seed")?,
+                    fault_ppm: opts.parse_opt("fault-ppm")?,
                 }
             }
             "compare" => {
@@ -255,6 +282,8 @@ impl Cli {
                     "k",
                     "seed",
                     "threads",
+                    "fault-seed",
+                    "fault-ppm",
                 ])?;
                 Command::Compare {
                     data: opts.required("data")?,
@@ -266,6 +295,8 @@ impl Cli {
                     k: opts.parse_or("k", 21usize)?,
                     seed: opts.parse_or("seed", 42u64)?,
                     threads: parse_threads(&opts)?,
+                    fault_seed: opts.parse_opt("fault-seed")?,
+                    fault_ppm: opts.parse_opt("fault-ppm")?,
                 }
             }
             "measure" => {
@@ -277,6 +308,8 @@ impl Cli {
                     "k",
                     "seed",
                     "threads",
+                    "fault-seed",
+                    "fault-ppm",
                 ])?;
                 Command::Measure {
                     data: opts.required("data")?,
@@ -288,6 +321,8 @@ impl Cli {
                     k: opts.parse_or("k", 21usize)?,
                     seed: opts.parse_or("seed", 42u64)?,
                     threads: parse_threads(&opts)?,
+                    fault_seed: opts.parse_opt("fault-seed")?,
+                    fault_ppm: opts.parse_opt("fault-ppm")?,
                 }
             }
             "generate" => {
@@ -327,6 +362,8 @@ mod tests {
                 zeta,
                 seed,
                 threads,
+                fault_seed,
+                fault_ppm,
             } => {
                 assert_eq!(data, "a.csv");
                 assert_eq!(page_bytes, 8192);
@@ -338,6 +375,8 @@ mod tests {
                 assert_eq!(zeta, None);
                 assert_eq!(seed, 42);
                 assert_eq!(threads, None);
+                assert_eq!(fault_seed, None);
+                assert_eq!(fault_ppm, None);
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -383,6 +422,29 @@ mod tests {
                 other => panic!("wrong command: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let cli = Cli::parse(&argv(
+            "measure --data d.csv --m 100 --fault-seed 7 --fault-ppm 20000",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Measure {
+                fault_seed,
+                fault_ppm,
+                ..
+            } => {
+                assert_eq!(fault_seed, Some(7));
+                assert_eq!(fault_ppm, Some(20_000));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(Cli::parse(&argv("predict --data a.csv --m 10 --fault-seed x")).is_err());
+        assert!(Cli::parse(&argv("compare --data a.csv --m 10 --fault-ppm -1")).is_err());
+        // info/generate take no fault flags.
+        assert!(Cli::parse(&argv("info --data a.csv --fault-seed 1")).is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use hdidx_datagen::workload::Workload;
 use hdidx_diskio::external::ExternalConfig;
 use hdidx_diskio::measure::measure_on_disk;
 use hdidx_diskio::DiskModel;
+use hdidx_faults::FaultConfig;
 use hdidx_model::{hupper, Prediction, QueryBall};
 use hdidx_vamsplit::topology::{PageConfig, Topology};
 use std::fmt::Write as _;
@@ -40,6 +41,8 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             zeta,
             seed,
             threads,
+            fault_seed,
+            fault_ppm,
         } => {
             apply_threads(*threads);
             predict(
@@ -52,6 +55,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 *h_upper,
                 *zeta,
                 *seed,
+                resolve_faults(*fault_seed, *fault_ppm),
             )
         }
         Command::Measure {
@@ -62,9 +66,19 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             k,
             seed,
             threads,
+            fault_seed,
+            fault_ppm,
         } => {
             apply_threads(*threads);
-            measure(Path::new(data), *page_bytes, *m, *queries, *k, *seed)
+            measure(
+                Path::new(data),
+                *page_bytes,
+                *m,
+                *queries,
+                *k,
+                *seed,
+                resolve_faults(*fault_seed, *fault_ppm),
+            )
         }
         Command::Compare {
             data,
@@ -74,11 +88,36 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             k,
             seed,
             threads,
+            fault_seed,
+            fault_ppm,
         } => {
             apply_threads(*threads);
-            compare(Path::new(data), *page_bytes, *m, *queries, *k, *seed)
+            compare(
+                Path::new(data),
+                *page_bytes,
+                *m,
+                *queries,
+                *k,
+                *seed,
+                resolve_faults(*fault_seed, *fault_ppm),
+            )
         }
     }
+}
+
+/// Resolves the fault-injection configuration: explicit `--fault-seed`
+/// wins (at the default 2000 ppm rate unless `--fault-ppm` overrides it);
+/// otherwise the `HDIDX_FAULT_SEED` / `HDIDX_FAULT_PPM` environment
+/// variables; otherwise no injection.
+fn resolve_faults(fault_seed: Option<u64>, fault_ppm: Option<u32>) -> Option<FaultConfig> {
+    let base = match fault_seed {
+        Some(seed) => FaultConfig::disabled(seed).with_rate_ppm(2_000),
+        None => FaultConfig::from_env()?,
+    };
+    Some(match fault_ppm {
+        Some(ppm) => base.with_rate_ppm(ppm),
+        None => base,
+    })
 }
 
 /// Applies `--threads` for this process. Results are identical for any
@@ -90,7 +129,7 @@ fn apply_threads(threads: Option<usize>) {
 }
 
 fn load(data: &Path, page_bytes: usize) -> Result<(Dataset, Topology), String> {
-    let dataset = csvio::read_csv(data)?;
+    let dataset = csvio::read_csv(data).map_err(|e| e.to_string())?;
     let topo = Topology::new(
         dataset.dim(),
         dataset.len(),
@@ -152,7 +191,7 @@ fn generate(dataset: &str, scale: f64, out: &Path) -> Result<String, String> {
         .spec_scaled(scale)
         .generate()
         .map_err(|e| e.to_string())?;
-    csvio::write_csv(out, &data)?;
+    csvio::write_csv(out, &data).map_err(|e| e.to_string())?;
     Ok(format!(
         "wrote {} ({} x {}) to {}\n",
         named.name(),
@@ -183,6 +222,7 @@ fn resolve_config(
     h_upper: Option<usize>,
     zeta: Option<f64>,
     seed: u64,
+    faults: Option<FaultConfig>,
 ) -> Result<PredictorConfig, String> {
     let needs_h = matches!(name, "cutoff" | "resampled");
     let h = match (h_upper, needs_h) {
@@ -196,6 +236,7 @@ fn resolve_config(
         seed,
         zeta: zeta.unwrap_or((m as f64 / dataset.len() as f64).min(1.0)),
         knn_k: k,
+        faults,
         ..PredictorConfig::default()
     })
 }
@@ -211,6 +252,7 @@ fn predict(
     h_upper: Option<usize>,
     zeta: Option<f64>,
     seed: u64,
+    faults: Option<FaultConfig>,
 ) -> Result<String, String> {
     let (dataset, topo) = load(data, page_bytes)?;
     let workload =
@@ -221,7 +263,9 @@ fn predict(
         .map(|q| QueryBall::new(q.center.clone(), q.radius))
         .collect();
     let disk = DiskModel::paper_with_page_bytes(page_bytes);
-    let cfg = resolve_config(predictor, &dataset, &topo, m, k, h_upper, zeta, seed)?;
+    let cfg = resolve_config(
+        predictor, &dataset, &topo, m, k, h_upper, zeta, seed, faults,
+    )?;
     let model =
         by_name(predictor, &cfg).ok_or_else(|| format!("unknown predictor `{predictor}`"))?;
     let prediction = model
@@ -241,6 +285,15 @@ fn predict(
         prediction.io,
         disk.cost_seconds(prediction.io)
     );
+    if faults.is_some() {
+        let d = &prediction.degraded;
+        let _ = writeln!(
+            out,
+            "fault degradation: {} leaves on cutoff fallback, {:.1}% coverage",
+            d.leaves_degraded,
+            100.0 * d.coverage_fraction
+        );
+    }
     Ok(out)
 }
 
@@ -251,19 +304,17 @@ fn measure(
     queries: usize,
     k: usize,
     seed: u64,
+    faults: Option<FaultConfig>,
 ) -> Result<String, String> {
     let (dataset, topo) = load(data, page_bytes)?;
     let workload =
         Workload::density_biased(&dataset, queries, k, seed).map_err(|e| e.to_string())?;
     let centers: Vec<Vec<f32>> = workload.queries.iter().map(|q| q.center.clone()).collect();
-    let measured = measure_on_disk(
-        &dataset,
-        &topo,
-        &centers,
-        k,
-        &ExternalConfig::with_mem_points(m),
-    )
-    .map_err(|e| e.to_string())?;
+    let cfg = ExternalConfig::with_mem_points(m)
+        .map_err(|e| e.to_string())?
+        .with_faults(faults);
+    let measured =
+        measure_on_disk(&dataset, &topo, &centers, k, &cfg).map_err(|e| e.to_string())?;
     let disk = DiskModel::paper_with_page_bytes(page_bytes);
     let mut out = String::new();
     let _ = writeln!(
@@ -279,6 +330,14 @@ fn measure(
         "total: {:.3} s under the paper's disk model",
         disk.cost_seconds(measured.total_io())
     );
+    if faults.is_some() {
+        let _ = writeln!(
+            out,
+            "injected faults: {} ({} retried)",
+            measured.fault_trace.len(),
+            measured.total_io().retries
+        );
+    }
     Ok(out)
 }
 
@@ -289,6 +348,7 @@ fn compare(
     queries: usize,
     k: usize,
     seed: u64,
+    faults: Option<FaultConfig>,
 ) -> Result<String, String> {
     let (dataset, topo) = load(data, page_bytes)?;
     let workload =
@@ -299,14 +359,11 @@ fn compare(
         .map(|q| QueryBall::new(q.center.clone(), q.radius))
         .collect();
     let centers: Vec<Vec<f32>> = workload.queries.iter().map(|q| q.center.clone()).collect();
-    let measured = measure_on_disk(
-        &dataset,
-        &topo,
-        &centers,
-        k,
-        &ExternalConfig::with_mem_points(m),
-    )
-    .map_err(|e| e.to_string())?;
+    let ext = ExternalConfig::with_mem_points(m)
+        .map_err(|e| e.to_string())?
+        .with_faults(faults);
+    let measured =
+        measure_on_disk(&dataset, &topo, &centers, k, &ext).map_err(|e| e.to_string())?;
     let truth = measured.avg_leaf_accesses();
     let disk = DiskModel::paper_with_page_bytes(page_bytes);
     let mut out = String::new();
@@ -318,9 +375,18 @@ fn compare(
     );
     let mut line = |name: &str, result: Result<Prediction, String>| match result {
         Ok(p) => {
+            let degraded = if p.degraded.is_degraded() {
+                format!(
+                    "  [degraded: {} leaves, {:.1}% coverage]",
+                    p.degraded.leaves_degraded,
+                    100.0 * p.degraded.coverage_fraction
+                )
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "  {name:<22} {:>8.1} acc/query  {:>+7.1}% error  {:>9.3} s I/O",
+                "  {name:<22} {:>8.1} acc/query  {:>+7.1}% error  {:>9.3} s I/O{degraded}",
                 p.avg_leaf_accesses(),
                 100.0 * p.relative_error(truth),
                 disk.cost_seconds(p.io)
@@ -331,8 +397,8 @@ fn compare(
         }
     };
     for &name in PREDICTOR_NAMES {
-        let result =
-            resolve_config(name, &dataset, &topo, m, k, None, None, seed).and_then(|cfg| {
+        let result = resolve_config(name, &dataset, &topo, m, k, None, None, seed, faults)
+            .and_then(|cfg| {
                 by_name(name, &cfg)
                     .expect("registry covers every PREDICTOR_NAMES entry")
                     .predict(&dataset, &topo, &balls)
@@ -414,6 +480,40 @@ mod tests {
         assert!(out.contains("uniform"), "{out}");
         assert!(out.contains("fractal"), "{out}");
         assert!(out.contains("% error"), "{out}");
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn fault_flags_surface_degradation_and_retries() {
+        let csv = temp_csv("faulted.csv");
+        run(&format!(
+            "generate --dataset texture48 --scale 0.2 --out {}",
+            csv.display()
+        ))
+        .unwrap();
+        let out = run(&format!(
+            "predict --data {} --m 200 --queries 10 --k 5 --fault-seed 3 --fault-ppm 20000",
+            csv.display()
+        ))
+        .unwrap();
+        assert!(out.contains("fault degradation:"), "{out}");
+        assert!(out.contains("% coverage"), "{out}");
+        let out = run(&format!(
+            "measure --data {} --m 200 --queries 10 --k 5 --fault-seed 3 --fault-ppm 20000",
+            csv.display()
+        ))
+        .unwrap();
+        assert!(out.contains("injected faults:"), "{out}");
+        // Without fault flags (and without the env variables) the lines
+        // stay absent.
+        if hdidx_faults::FaultConfig::from_env().is_none() {
+            let out = run(&format!(
+                "predict --data {} --m 200 --queries 10 --k 5",
+                csv.display()
+            ))
+            .unwrap();
+            assert!(!out.contains("fault degradation"), "{out}");
+        }
         std::fs::remove_file(&csv).ok();
     }
 

@@ -2,8 +2,12 @@
 //! Blank lines and `#` comment lines are skipped. A header line is
 //! detected (first line whose first field does not parse as a number) and
 //! ignored.
+//!
+//! Every malformed input — ragged rows, non-numeric or non-finite fields,
+//! empty files, header-only files — is reported as a line-numbered
+//! [`Error::InvalidParameter`] (parameter `csv`), never a panic.
 
-use hdidx_core::Dataset;
+use hdidx_core::{Dataset, Error, Result};
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
@@ -11,10 +15,11 @@ use std::path::Path;
 ///
 /// # Errors
 ///
-/// Returns a message for I/O failures, ragged rows, non-numeric fields or
-/// an empty file.
-pub fn read_csv(path: &Path) -> Result<Dataset, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+/// [`Error::InvalidParameter`] for I/O failures, ragged rows, non-numeric
+/// or non-finite fields, or a file with no data rows.
+pub fn read_csv(path: &Path) -> Result<Dataset> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| Error::invalid("csv", format!("cannot open {path:?}: {e}")))?;
     let reader = std::io::BufReader::new(file);
     parse_csv(reader)
 }
@@ -24,13 +29,15 @@ pub fn read_csv(path: &Path) -> Result<Dataset, String> {
 /// # Errors
 ///
 /// Same conditions as [`read_csv`].
-pub fn parse_csv<R: BufRead>(reader: R) -> Result<Dataset, String> {
+pub fn parse_csv<R: BufRead>(reader: R) -> Result<Dataset> {
     let mut dim = 0usize;
     let mut data: Vec<f32> = Vec::new();
     let mut row = 0usize;
     let mut header_allowed = true;
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| format!("read error at line {}: {e}", lineno + 1))?;
+        let line = line.map_err(|e| {
+            Error::invalid("csv", format!("read error at line {}: {e}", lineno + 1))
+        })?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -42,39 +49,55 @@ pub fn parse_csv<R: BufRead>(reader: R) -> Result<Dataset, String> {
             continue;
         }
         header_allowed = false;
+        if fields.iter().any(|f| f.is_empty()) {
+            return Err(Error::invalid(
+                "csv",
+                format!("line {}: empty field", lineno + 1),
+            ));
+        }
         if dim == 0 {
             dim = fields.len();
         } else if fields.len() != dim {
-            return Err(format!(
-                "line {}: expected {dim} fields, found {}",
-                lineno + 1,
-                fields.len()
+            return Err(Error::invalid(
+                "csv",
+                format!(
+                    "line {}: expected {dim} fields, found {}",
+                    lineno + 1,
+                    fields.len()
+                ),
             ));
         }
         for f in &fields {
-            let v: f32 = f
-                .parse()
-                .map_err(|_| format!("line {}: cannot parse `{f}` as a number", lineno + 1))?;
+            let v: f32 = f.parse().map_err(|_| {
+                Error::invalid(
+                    "csv",
+                    format!("line {}: cannot parse `{f}` as a number", lineno + 1),
+                )
+            })?;
             if !v.is_finite() {
-                return Err(format!("line {}: non-finite value `{f}`", lineno + 1));
+                return Err(Error::invalid(
+                    "csv",
+                    format!("line {}: non-finite value `{f}`", lineno + 1),
+                ));
             }
             data.push(v);
         }
         row += 1;
     }
     if row == 0 {
-        return Err("no data rows found".to_string());
+        return Err(Error::invalid("csv", "no data rows found"));
     }
-    Dataset::from_flat(dim, data).map_err(|e| e.to_string())
+    Dataset::from_flat(dim, data)
 }
 
 /// Writes a dataset as CSV.
 ///
 /// # Errors
 ///
-/// Returns a message on I/O failure.
-pub fn write_csv(path: &Path, data: &Dataset) -> Result<(), String> {
-    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
+/// [`Error::InvalidParameter`] on I/O failure.
+pub fn write_csv(path: &Path, data: &Dataset) -> Result<()> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| Error::invalid("csv", format!("cannot create {path:?}: {e}")))?;
     let mut w = BufWriter::new(file);
     let mut line = String::new();
     for i in 0..data.len() {
@@ -87,17 +110,30 @@ pub fn write_csv(path: &Path, data: &Dataset) -> Result<(), String> {
         }
         line.push('\n');
         w.write_all(line.as_bytes())
-            .map_err(|e| format!("write error: {e}"))?;
+            .map_err(|e| Error::invalid("csv", format!("write error: {e}")))?;
     }
-    w.flush().map_err(|e| format!("write error: {e}"))
+    w.flush()
+        .map_err(|e| Error::invalid("csv", format!("write error: {e}")))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(s: &str) -> Result<Dataset, String> {
+    fn parse(s: &str) -> Result<Dataset> {
         parse_csv(std::io::Cursor::new(s.to_string()))
+    }
+
+    /// The malformed-input contract: an `InvalidParameter` on the `csv`
+    /// parameter whose message contains `needle`.
+    fn assert_csv_err(input: &str, needle: &str) {
+        match parse(input) {
+            Err(Error::InvalidParameter { name, message }) => {
+                assert_eq!(name, "csv", "{input:?}");
+                assert!(message.contains(needle), "{input:?}: {message}");
+            }
+            other => panic!("{input:?}: expected InvalidParameter, got {other:?}"),
+        }
     }
 
     #[test]
@@ -116,14 +152,32 @@ mod tests {
     }
 
     #[test]
-    fn rejects_ragged_and_bad_rows() {
-        assert!(parse("1,2\n3\n").is_err());
-        assert!(parse("1,abc\n").is_err());
-        assert!(parse("1,inf\n").is_err());
-        assert!(parse("").is_err());
-        assert!(parse("# only comments\n").is_err());
+    fn ragged_rows_are_line_numbered_errors() {
+        assert_csv_err("1,2\n3\n", "line 2: expected 2 fields, found 1");
+        assert_csv_err("1,2\n3,4,5\n", "line 2: expected 2 fields, found 3");
+        // Line numbers count raw lines, including skipped ones.
+        assert_csv_err("# c\nx,y\n1,2\n\n3\n", "line 5: expected 2 fields");
+    }
+
+    #[test]
+    fn bad_fields_are_line_numbered_errors() {
+        assert_csv_err("1,abc\n", "line 1: cannot parse `abc`");
+        assert_csv_err("1,2\n3,nan\n", "line 2: non-finite value `nan`");
+        assert_csv_err("1,inf\n", "line 1: non-finite value `inf`");
+        assert_csv_err("1,-inf\n", "non-finite value `-inf`");
+        assert_csv_err("1,,3\n", "line 1: empty field");
         // Two consecutive non-numeric lines: only one header allowed.
-        assert!(parse("x,y\na,b\n1,2\n").is_err());
+        assert_csv_err("x,y\na,b\n1,2\n", "line 2: cannot parse `a`");
+    }
+
+    #[test]
+    fn empty_inputs_are_errors_not_panics() {
+        assert_csv_err("", "no data rows");
+        assert_csv_err("# only comments\n", "no data rows");
+        assert_csv_err("\n\n\n", "no data rows");
+        // A header with no data below it (zero-dimension dataset).
+        assert_csv_err("x,y,z\n", "no data rows");
+        assert_csv_err("x,y\n# trailing comment\n\n", "no data rows");
     }
 
     #[test]
@@ -141,6 +195,7 @@ mod tests {
     #[test]
     fn missing_file_is_reported() {
         let err = read_csv(Path::new("/nonexistent/nope.csv")).unwrap_err();
-        assert!(err.contains("cannot open"), "{err}");
+        assert!(err.to_string().contains("cannot open"), "{err}");
+        assert!(matches!(err, Error::InvalidParameter { name: "csv", .. }));
     }
 }

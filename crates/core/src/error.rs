@@ -5,8 +5,11 @@ use std::fmt;
 /// Errors produced by the hdidx crates.
 ///
 /// The workspace deliberately avoids a `thiserror` dependency; the enum is
-/// small and hand-rolled.
+/// small and hand-rolled. It is `#[non_exhaustive]`: downstream matches
+/// must carry a wildcard arm so future variants (like `IoFault`, added for
+/// the fault-injection layer) do not break them.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Error {
     /// A dimensionality of zero was supplied, or two objects with differing
     /// dimensionalities were combined.
@@ -37,6 +40,17 @@ pub enum Error {
         /// Number of valid entries.
         len: usize,
     },
+    /// An injected I/O fault persisted through every retry attempt. The
+    /// `kind` is the stable fault-taxonomy name (`"transient"`, `"torn"`);
+    /// `page` is the absolute first page of the failed range.
+    IoFault {
+        /// Stable fault-kind name from the fault taxonomy.
+        kind: &'static str,
+        /// Absolute first page of the failed access.
+        page: u64,
+        /// Total attempts made (first try plus retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -52,6 +66,16 @@ impl fmt::Display for Error {
             Error::InfeasibleTopology(msg) => write!(f, "infeasible tree topology: {msg}"),
             Error::IoOutOfRange { index, len } => {
                 write!(f, "simulated I/O out of range: index {index}, length {len}")
+            }
+            Error::IoFault {
+                kind,
+                page,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "I/O fault: {kind} fault at page {page} persisted after {attempts} attempts"
+                )
             }
         }
     }
@@ -97,11 +121,35 @@ mod tests {
             e.to_string(),
             "simulated I/O out of range: index 9, length 4"
         );
+        let e = Error::IoFault {
+            kind: "torn",
+            page: 128,
+            attempts: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "I/O fault: torn fault at page 128 persisted after 4 attempts"
+        );
     }
 
     #[test]
     fn error_is_std_error() {
         fn takes_std_error(_: &dyn std::error::Error) {}
         takes_std_error(&Error::EmptyInput("x"));
+    }
+
+    #[test]
+    fn io_fault_source_is_terminal() {
+        // The enum owns its context inline; `source()` is the default None
+        // for every variant, pinned here so a future wrapped-error change
+        // is a conscious one.
+        use std::error::Error as _;
+        let e = Error::IoFault {
+            kind: "transient",
+            page: 0,
+            attempts: 1,
+        };
+        assert!(e.source().is_none());
+        assert!(Error::EmptyInput("x").source().is_none());
     }
 }

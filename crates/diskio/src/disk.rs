@@ -12,9 +12,23 @@
 //! [`Disk::access`] with the page ranges a real external-memory
 //! implementation would touch. What is simulated is the access pattern, not
 //! the bytes; the counters are therefore exact for the simulated pattern.
+//!
+//! ## Fault injection
+//!
+//! A [`FaultPlan`] (from `hdidx-faults`) can be installed with
+//! [`Disk::set_fault_plan`]. Every [`Disk::access`] then runs a bounded
+//! retry loop: a transient fault burns one seek and loses the head
+//! position; a torn fault transfers (and charges) a prefix of the range
+//! before failing; a latency spike succeeds but charges extra seeks. Each
+//! retried failure increments [`IoStats::retries`]; if the final attempt
+//! still fails the access returns [`Error::IoFault`] with the fault kind,
+//! page and attempt count. With no plan installed — or a plan whose rates
+//! are all zero — the accounting is byte-identical to the fault-free
+//! implementation (pinned in `tests/fault_injection.rs`).
 
 use crate::model::IoStats;
 use hdidx_core::{Error, Result};
+use hdidx_faults::{FaultEvent, FaultOutcome, FaultPlan};
 
 /// A contiguous page range on the simulated disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,16 +50,37 @@ pub struct Disk {
     next_free_page: u64,
     last_page: Option<u64>,
     stats: IoStats,
+    plan: Option<FaultPlan>,
 }
 
 impl Disk {
-    /// A fresh disk with an idle head and zeroed counters.
+    /// A fresh disk with an idle head, zeroed counters and no fault plan.
     pub fn new() -> Disk {
         Disk {
             next_free_page: 0,
             last_page: None,
             stats: IoStats::default(),
+            plan: None,
         }
+    }
+
+    /// Installs (or removes) a fault plan. Accesses made from here on run
+    /// through the plan's per-attempt decisions; `None` restores the ideal
+    /// device.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.plan = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Every fault injected so far, in decision order (empty without a
+    /// plan). The trace is part of the determinism contract: same seed,
+    /// same access sequence ⇒ same trace, at any thread count.
+    pub fn fault_trace(&self) -> &[FaultEvent] {
+        self.plan.as_ref().map_or(&[], |p| p.trace())
     }
 
     /// Allocates a file of `pages` contiguous pages.
@@ -70,7 +105,9 @@ impl Disk {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::IoOutOfRange`] if the range exceeds the file.
+    /// Returns [`Error::IoOutOfRange`] if the range exceeds the file, and
+    /// [`Error::IoFault`] if an installed fault plan fails the access on
+    /// every retry attempt.
     pub fn access(&mut self, file: &FileHandle, first_page: u64, n_pages: u64) -> Result<()> {
         if n_pages == 0 {
             return Ok(());
@@ -86,6 +123,85 @@ impl Disk {
             });
         }
         let abs_first = file.start_page + first_page;
+        // Temporarily detach the plan so the retry loop can charge through
+        // `&mut self`; reattached before returning on every path.
+        match self.plan.take() {
+            None => {
+                self.charge_range(abs_first, n_pages);
+                Ok(())
+            }
+            Some(mut plan) => {
+                let result = self.access_under_plan(&mut plan, abs_first, n_pages);
+                self.plan = Some(plan);
+                result
+            }
+        }
+    }
+
+    /// The bounded retry loop of a fault-injected access. Failed attempts
+    /// charge what they physically burned (a seek for a transient fault,
+    /// the completed prefix for a torn one) and lose the head position, so
+    /// the retry pays a fresh seek; each retried failure bumps
+    /// [`IoStats::retries`].
+    fn access_under_plan(
+        &mut self,
+        plan: &mut FaultPlan,
+        abs_first: u64,
+        n_pages: u64,
+    ) -> Result<()> {
+        let access = plan.next_access();
+        let max_attempts = plan.max_attempts();
+        let mut last_kind = "transient";
+        for attempt in 0..max_attempts {
+            match plan.attempt(access, attempt, abs_first, n_pages) {
+                FaultOutcome::Success => {
+                    self.charge_range(abs_first, n_pages);
+                    return Ok(());
+                }
+                FaultOutcome::Spike { extra_seeks } => {
+                    // The access succeeds but queueing/recalibration is
+                    // charged as extra seek-equivalents.
+                    self.charge_range(abs_first, n_pages);
+                    self.stats.seeks += extra_seeks;
+                    return Ok(());
+                }
+                outcome @ (FaultOutcome::Transient | FaultOutcome::Torn { .. }) => {
+                    match outcome {
+                        FaultOutcome::Transient => {
+                            // The head moved but nothing transferred.
+                            self.stats.seeks += 1;
+                        }
+                        FaultOutcome::Torn { completed_pages } => {
+                            // The prefix really transferred and is charged.
+                            self.charge_range(abs_first, completed_pages);
+                        }
+                        _ => unreachable!("outer match binds only failures"),
+                    }
+                    self.last_page = None;
+                    last_kind = outcome.kind().map_or("transient", |k| k.as_str());
+                    if attempt + 1 < max_attempts {
+                        self.stats.retries += 1;
+                    }
+                }
+            }
+        }
+        Err(Error::IoFault {
+            kind: last_kind,
+            page: abs_first,
+            attempts: max_attempts,
+        })
+    }
+
+    /// Charges one contiguous access of `n_pages` pages starting at the
+    /// absolute page `abs_first`: free re-access of the buffered head page,
+    /// one seek when the range does not continue the previous access, one
+    /// transfer per remaining page. This is the entire (fault-free) cost
+    /// model; the fault path reuses it for successful attempts and torn
+    /// prefixes so a zero-fault plan stays byte-identical.
+    fn charge_range(&mut self, abs_first: u64, n_pages: u64) {
+        if n_pages == 0 {
+            return;
+        }
         let mut remaining = n_pages;
         let mut cursor = abs_first;
         // Free re-access of the page currently under the head.
@@ -93,7 +209,7 @@ impl Disk {
             cursor += 1;
             remaining -= 1;
             if remaining == 0 {
-                return Ok(());
+                return;
             }
         }
         if self.last_page.map(|lp| lp + 1) != Some(cursor) {
@@ -101,7 +217,6 @@ impl Disk {
         }
         self.stats.transfers += remaining;
         self.last_page = Some(cursor + remaining - 1);
-        Ok(())
     }
 
     /// Accesses the pages holding records `first_rec..first_rec + n_recs`
@@ -169,7 +284,8 @@ mod tests {
             d.stats(),
             IoStats {
                 seeks: 1,
-                transfers: 10
+                transfers: 10,
+                retries: 0,
             }
         );
         // Continuing where the head is: no new seek.
@@ -178,7 +294,8 @@ mod tests {
             d.stats(),
             IoStats {
                 seeks: 1,
-                transfers: 15
+                transfers: 15,
+                retries: 0,
             }
         );
     }
@@ -193,7 +310,8 @@ mod tests {
             d.stats(),
             IoStats {
                 seeks: 2,
-                transfers: 2
+                transfers: 2,
+                retries: 0,
             }
         );
         // Jumping backwards also seeks.
@@ -211,7 +329,8 @@ mod tests {
             d.stats(),
             IoStats {
                 seeks: 1,
-                transfers: 1
+                transfers: 1,
+                retries: 0,
             }
         );
         // Re-access extending past the buffered page: only the new pages.
@@ -220,7 +339,8 @@ mod tests {
             d.stats(),
             IoStats {
                 seeks: 1,
-                transfers: 3
+                transfers: 3,
+                retries: 0,
             }
         );
     }
@@ -237,7 +357,8 @@ mod tests {
             d.stats(),
             IoStats {
                 seeks: 1,
-                transfers: 11
+                transfers: 11,
+                retries: 0,
             }
         );
         // But going back to a seeks.
@@ -255,7 +376,8 @@ mod tests {
             d.stats(),
             IoStats {
                 seeks: 1,
-                transfers: 2
+                transfers: 2,
+                retries: 0,
             }
         );
         assert!(d.access_records(&f, 0, 1, 0).is_err());
@@ -282,7 +404,8 @@ mod tests {
             d.stats(),
             IoStats {
                 seeks: 8,
-                transfers: 11
+                transfers: 11,
+                retries: 0,
             }
         );
         d.reset_stats();
@@ -290,5 +413,121 @@ mod tests {
         // Head was invalidated by charge: next access seeks.
         d.access(&f, 0, 1).unwrap();
         assert_eq!(d.stats().seeks, 1);
+    }
+
+    use hdidx_faults::FaultConfig;
+
+    fn run_pattern(d: &mut Disk) -> IoStats {
+        let f = d.alloc(64).unwrap();
+        d.access(&f, 0, 16).unwrap();
+        d.access(&f, 16, 16).unwrap();
+        d.access(&f, 0, 1).unwrap();
+        d.access(&f, 40, 8).unwrap();
+        d.stats()
+    }
+
+    #[test]
+    fn zero_rate_plan_is_byte_identical() {
+        let mut ideal = Disk::new();
+        let ideal_stats = run_pattern(&mut ideal);
+        let mut faulty = Disk::new();
+        faulty.set_fault_plan(Some(FaultPlan::new(FaultConfig::disabled(99))));
+        let stats = run_pattern(&mut faulty);
+        assert_eq!(stats, ideal_stats);
+        assert_eq!(stats.retries, 0);
+        assert!(faulty.fault_trace().is_empty());
+    }
+
+    #[test]
+    fn transient_fault_burns_a_seek_and_retries() {
+        let cfg = FaultConfig {
+            seed: 1,
+            transient_ppm: hdidx_faults::PPM_SCALE,
+            torn_ppm: 0,
+            spike_ppm: 0,
+            max_attempts: 3,
+        };
+        let mut d = Disk::new();
+        d.set_fault_plan(Some(FaultPlan::new(cfg)));
+        let f = d.alloc(8).unwrap();
+        let err = d.access(&f, 0, 4).unwrap_err();
+        assert_eq!(
+            err,
+            hdidx_core::Error::IoFault {
+                kind: "transient",
+                page: 0,
+                attempts: 3,
+            }
+        );
+        // 3 failed attempts: 3 seeks, no transfers, 2 retries (the last
+        // failure is exhaustion, not a retry).
+        assert_eq!(
+            d.stats(),
+            IoStats {
+                seeks: 3,
+                transfers: 0,
+                retries: 2,
+            }
+        );
+        assert_eq!(d.fault_trace().len(), 3);
+    }
+
+    #[test]
+    fn torn_fault_charges_the_completed_prefix() {
+        let cfg = FaultConfig {
+            seed: 2,
+            transient_ppm: 0,
+            torn_ppm: hdidx_faults::PPM_SCALE,
+            spike_ppm: 0,
+            max_attempts: 1,
+        };
+        let mut d = Disk::new();
+        d.set_fault_plan(Some(FaultPlan::new(cfg)));
+        let f = d.alloc(16).unwrap();
+        let err = d.access(&f, 0, 10).unwrap_err();
+        assert!(matches!(
+            err,
+            hdidx_core::Error::IoFault { kind: "torn", .. }
+        ));
+        let s = d.stats();
+        assert_eq!(s.seeks, 1);
+        assert!((1..10).contains(&s.transfers), "prefix only: {s:?}");
+        assert_eq!(s.retries, 0); // max_attempts 1 ⇒ no retry, only exhaustion
+    }
+
+    #[test]
+    fn spike_succeeds_with_extra_seeks() {
+        let cfg = FaultConfig {
+            seed: 3,
+            transient_ppm: 0,
+            torn_ppm: 0,
+            spike_ppm: hdidx_faults::PPM_SCALE,
+            max_attempts: 4,
+        };
+        let mut d = Disk::new();
+        d.set_fault_plan(Some(FaultPlan::new(cfg)));
+        let f = d.alloc(8).unwrap();
+        d.access(&f, 0, 4).unwrap();
+        let s = d.stats();
+        assert_eq!(s.transfers, 4);
+        assert!(s.seeks >= 2, "base seek plus spike charge: {s:?}");
+        assert_eq!(s.retries, 0);
+    }
+
+    #[test]
+    fn retried_access_eventually_succeeds_under_moderate_rates() {
+        // 10 % transient per attempt with 4 attempts: over 200 accesses the
+        // chance of any exhaustion is ~2 %, and seed 7 is pinned green.
+        let cfg = FaultConfig::disabled(7).with_rate_ppm(100_000);
+        let mut d = Disk::new();
+        d.set_fault_plan(Some(FaultPlan::new(cfg)));
+        let f = d.alloc(200).unwrap();
+        for p in 0..200 {
+            d.access(&f, p, 1).unwrap();
+        }
+        let s = d.stats();
+        assert!(s.transfers >= 200, "all pages transferred: {s:?}");
+        assert!(s.retries > 0, "expected some retries at 15 % failure rate");
+        assert!(!d.fault_trace().is_empty());
     }
 }

@@ -25,6 +25,7 @@ use crate::disk::{Disk, FileHandle};
 use crate::model::IoStats;
 use hdidx_core::stats::max_variance_dim;
 use hdidx_core::{Dataset, Error, HyperRect, Result};
+use hdidx_faults::{FaultConfig, FaultEvent, FaultPlan};
 use hdidx_vamsplit::split::partition_by_rank;
 use hdidx_vamsplit::topology::Topology;
 use hdidx_vamsplit::tree::{Node, NodeKind, RTree};
@@ -38,15 +39,49 @@ pub struct ExternalConfig {
     /// streaming; 8 pages reproduces the paper's ≈1:8 seek/transfer ratio
     /// during builds).
     pub io_buf_pages: u64,
+    /// Optional fault injection: when set, the build's simulated disk runs
+    /// every access through a seeded [`FaultPlan`] with bounded retry.
+    pub faults: Option<FaultConfig>,
 }
 
 impl ExternalConfig {
-    /// Standard configuration for a given `M`.
-    pub fn with_mem_points(mem_points: usize) -> Self {
-        ExternalConfig {
-            mem_points,
-            io_buf_pages: 8,
+    /// Validated constructor: both the memory budget and the I/O buffer
+    /// must be positive (`mem_points` is additionally checked against the
+    /// page capacity once a topology is known, in [`build_on_disk`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on a zero `mem_points` or
+    /// `io_buf_pages`.
+    pub fn new(mem_points: usize, io_buf_pages: u64) -> Result<Self> {
+        if mem_points == 0 {
+            return Err(Error::invalid("mem_points", "must be positive"));
         }
+        if io_buf_pages == 0 {
+            return Err(Error::invalid("io_buf_pages", "must be positive"));
+        }
+        Ok(ExternalConfig {
+            mem_points,
+            io_buf_pages,
+            faults: None,
+        })
+    }
+
+    /// Standard configuration for a given `M` (8-page I/O buffers), going
+    /// through the same validation as [`ExternalConfig::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on a zero `mem_points`.
+    pub fn with_mem_points(mem_points: usize) -> Result<Self> {
+        ExternalConfig::new(mem_points, 8)
+    }
+
+    /// Attaches (or clears) a fault-injection configuration.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<FaultConfig>) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -55,16 +90,27 @@ impl ExternalConfig {
 pub struct BuildOutput {
     /// The bulk-loaded index (identical to the in-memory loader's output).
     pub tree: RTree,
-    /// Seeks/transfers incurred by the build.
+    /// Seeks/transfers incurred by the build (including retry charges).
     pub io: IoStats,
+    /// Every fault injected during the build, in decision order (empty
+    /// without a fault configuration).
+    pub fault_trace: Vec<FaultEvent>,
 }
 
 /// Bulk-loads the full index "on disk", counting every seek and transfer.
 ///
+/// With `cfg.faults` set, every access runs through the seeded fault plan
+/// with bounded retry (each retry is a deterministic re-issue whose extra
+/// seeks/transfers are charged to the returned [`IoStats`], alongside its
+/// `retries` count). The produced tree is identical either way — only the
+/// bill and the trace differ — unless a fault exhausts its retry budget,
+/// in which case the build fails with [`Error::IoFault`].
+///
 /// # Errors
 ///
 /// Rejects memory budgets smaller than one data page, zero buffer sizes,
-/// and the usual shape mismatches.
+/// and the usual shape mismatches; propagates [`Error::IoFault`] from an
+/// exhausted retry budget.
 pub fn build_on_disk(data: &Dataset, topo: &Topology, cfg: &ExternalConfig) -> Result<BuildOutput> {
     if data.dim() != topo.dim() {
         return Err(Error::DimensionMismatch {
@@ -98,6 +144,9 @@ pub fn build_on_disk(data: &Dataset, topo: &Topology, cfg: &ExternalConfig) -> R
     let recs_per_page = topo.cap_data() as u64;
     let data_pages = (n as u64).div_ceil(recs_per_page);
     let mut disk = Disk::new();
+    if let Some(fcfg) = cfg.faults {
+        disk.set_fault_plan(Some(FaultPlan::new(fcfg)));
+    }
     let file = disk.alloc(data_pages)?;
     // Output region for finished index pages (generously sized; only the
     // access pattern matters).
@@ -125,9 +174,14 @@ pub fn build_on_disk(data: &Dataset, topo: &Topology, cfg: &ExternalConfig) -> R
         b.out_cursor += remaining;
     }
     let io = b.disk.stats();
+    let fault_trace = b.disk.fault_trace().to_vec();
     let ExtBuilder { nodes, ids, .. } = b;
     let tree = RTree::from_arenas(data.dim(), topo.height(), 1, nodes, ids)?;
-    Ok(BuildOutput { tree, io })
+    Ok(BuildOutput {
+        tree,
+        io,
+        fault_trace,
+    })
 }
 
 struct ExtBuilder<'a> {
@@ -178,6 +232,9 @@ impl<'a> ExtBuilder<'a> {
         });
         if level == 1 {
             debug_assert!(resident, "a data page must fit in memory");
+            // Invariant: `start < end` was established at function entry
+            // (the `start == end` case returned `None`), so the slice is
+            // non-empty and `mbr_of` cannot fail.
             let rect = self.data.mbr_of(&self.ids[start..end]).expect("non-empty");
             self.nodes[my_index as usize].rect = rect;
         } else {
@@ -198,6 +255,9 @@ impl<'a> ExtBuilder<'a> {
             }
             debug_assert!(!children.is_empty());
             let node = &mut self.nodes[my_index as usize];
+            // Invariant: the segment is non-empty and partition_groups
+            // covers it exactly, so at least one group is non-empty and
+            // produced a child whose rect initialized `rect`.
             node.rect = rect.expect("at least one child");
             node.kind = NodeKind::Inner { children };
         }
@@ -398,7 +458,8 @@ mod tests {
         let data = random_dataset(5000, 8, 41);
         let topo = Topology::from_capacities(8, 5000, 20, 8).unwrap();
         let mem = bulk_load(&data, &topo).unwrap();
-        let ext = build_on_disk(&data, &topo, &ExternalConfig::with_mem_points(300)).unwrap();
+        let ext =
+            build_on_disk(&data, &topo, &ExternalConfig::with_mem_points(300).unwrap()).unwrap();
         ext.tree.check_invariants().unwrap();
         assert_eq!(ext.tree.height(), mem.height());
         assert_eq!(ext.tree.num_leaves(), mem.num_leaves());
@@ -420,8 +481,14 @@ mod tests {
     fn tiny_memory_costs_more_io_than_large_memory() {
         let data = random_dataset(8000, 6, 42);
         let topo = Topology::from_capacities(6, 8000, 25, 10).unwrap();
-        let small = build_on_disk(&data, &topo, &ExternalConfig::with_mem_points(100)).unwrap();
-        let large = build_on_disk(&data, &topo, &ExternalConfig::with_mem_points(8000)).unwrap();
+        let small =
+            build_on_disk(&data, &topo, &ExternalConfig::with_mem_points(100).unwrap()).unwrap();
+        let large = build_on_disk(
+            &data,
+            &topo,
+            &ExternalConfig::with_mem_points(8000).unwrap(),
+        )
+        .unwrap();
         assert!(
             small.io.transfers > large.io.transfers,
             "small-mem {:?} vs large-mem {:?}",
@@ -435,7 +502,12 @@ mod tests {
     fn all_in_memory_build_costs_one_read_and_one_write() {
         let data = random_dataset(1000, 4, 43);
         let topo = Topology::from_capacities(4, 1000, 10, 5).unwrap();
-        let out = build_on_disk(&data, &topo, &ExternalConfig::with_mem_points(1000)).unwrap();
+        let out = build_on_disk(
+            &data,
+            &topo,
+            &ExternalConfig::with_mem_points(1000).unwrap(),
+        )
+        .unwrap();
         // One sequential read of the data file + one sequential write of
         // the whole index. The output region is allocated right after the
         // data file, so the write run continues where the read ended and
@@ -451,7 +523,7 @@ mod tests {
         let mk = |n: usize, seed: u64| {
             let data = random_dataset(n, 4, seed);
             let topo = Topology::from_capacities(4, n, 20, 8).unwrap();
-            build_on_disk(&data, &topo, &ExternalConfig::with_mem_points(200))
+            build_on_disk(&data, &topo, &ExternalConfig::with_mem_points(200).unwrap())
                 .unwrap()
                 .io
         };
@@ -479,7 +551,8 @@ mod tests {
         .unwrap();
         let topo = Topology::from_capacities(3, 2000, 10, 5).unwrap();
         let mem = bulk_load(&data, &topo).unwrap();
-        let ext = build_on_disk(&data, &topo, &ExternalConfig::with_mem_points(150)).unwrap();
+        let ext =
+            build_on_disk(&data, &topo, &ExternalConfig::with_mem_points(150).unwrap()).unwrap();
         assert_eq!(ext.tree.num_leaves(), mem.num_leaves());
         assert!(ext.io.transfers > 0);
     }
@@ -504,7 +577,7 @@ mod tests {
                 .collect(),
         )
         .unwrap();
-        let cfg = ExternalConfig::with_mem_points(200);
+        let cfg = ExternalConfig::with_mem_points(200).unwrap();
         let a = build_on_disk(&uniform, &topo, &cfg).unwrap().io;
         let b = build_on_disk(&skewed, &topo, &cfg).unwrap().io;
         assert!(
@@ -517,25 +590,47 @@ mod tests {
     fn config_validation() {
         let data = random_dataset(100, 4, 46);
         let topo = Topology::from_capacities(4, 100, 10, 5).unwrap();
-        assert!(build_on_disk(
-            &data,
-            &topo,
-            &ExternalConfig {
-                mem_points: 5,
-                io_buf_pages: 8
-            }
-        )
-        .is_err());
-        assert!(build_on_disk(
-            &data,
-            &topo,
-            &ExternalConfig {
-                mem_points: 100,
-                io_buf_pages: 0
-            }
-        )
-        .is_err());
+        // Zero budgets are rejected at construction.
+        assert!(ExternalConfig::new(0, 8).is_err());
+        assert!(ExternalConfig::new(100, 0).is_err());
+        assert!(ExternalConfig::with_mem_points(0).is_err());
+        // A budget below one data page passes construction (no topology
+        // yet) but is rejected by the build.
+        assert!(build_on_disk(&data, &topo, &ExternalConfig::new(5, 8).unwrap()).is_err());
         let other = random_dataset(50, 4, 47);
-        assert!(build_on_disk(&other, &topo, &ExternalConfig::with_mem_points(100)).is_err());
+        assert!(build_on_disk(
+            &other,
+            &topo,
+            &ExternalConfig::with_mem_points(100).unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn zero_fault_build_is_byte_identical_and_faults_reproduce() {
+        use hdidx_faults::FaultConfig;
+        let data = random_dataset(4000, 6, 51);
+        let topo = Topology::from_capacities(6, 4000, 20, 8).unwrap();
+        let base_cfg = ExternalConfig::with_mem_points(250).unwrap();
+        let plain = build_on_disk(&data, &topo, &base_cfg).unwrap();
+        let zero = build_on_disk(
+            &data,
+            &topo,
+            &base_cfg.with_faults(Some(FaultConfig::disabled(5))),
+        )
+        .unwrap();
+        assert_eq!(zero.io, plain.io);
+        assert!(zero.fault_trace.is_empty());
+        // Moderate fault pressure: build still succeeds (bounded retry),
+        // costs strictly more, and is reproducible from the seed.
+        let fcfg = FaultConfig::disabled(5).with_rate_ppm(20_000);
+        let a = build_on_disk(&data, &topo, &base_cfg.with_faults(Some(fcfg))).unwrap();
+        let b = build_on_disk(&data, &topo, &base_cfg.with_faults(Some(fcfg))).unwrap();
+        assert_eq!(a.io, b.io);
+        assert_eq!(a.fault_trace, b.fault_trace);
+        assert!(a.io.retries > 0, "2 % faults over a build must retry");
+        assert!(a.io.seeks > plain.io.seeks);
+        // The tree itself is unaffected by survivable faults.
+        assert_eq!(a.tree.num_leaves(), plain.tree.num_leaves());
     }
 }

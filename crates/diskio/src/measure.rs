@@ -3,9 +3,11 @@
 //! plus query I/O plus the measured average leaf accesses per query that
 //! every predictor is scored against.
 
+use crate::disk::Disk;
 use crate::external::{build_on_disk, ExternalConfig};
 use crate::model::IoStats;
 use hdidx_core::{Dataset, Result};
+use hdidx_faults::{FaultEvent, FaultPlan};
 use hdidx_vamsplit::query::knn;
 use hdidx_vamsplit::topology::Topology;
 use hdidx_vamsplit::tree::RTree;
@@ -24,6 +26,9 @@ pub struct OnDiskMeasurement {
     pub query_io: IoStats,
     /// Leaf accesses per query, in workload order.
     pub per_query_leaf_accesses: Vec<u64>,
+    /// Faults injected during the build phase followed by those injected
+    /// during the query phase (empty without a fault configuration).
+    pub fault_trace: Vec<FaultEvent>,
 }
 
 impl OnDiskMeasurement {
@@ -46,9 +51,17 @@ impl OnDiskMeasurement {
 /// Builds the on-disk index under `cfg` and executes `k`-NN queries at the
 /// given centers, counting all I/O.
 ///
+/// With `cfg.faults` set, the build runs under the plan (see
+/// [`build_on_disk`]) and the query phase runs its random page accesses
+/// through a second plan derived from the same seed (stream 1, so the two
+/// phases stay decorrelated but both replay from the one user-facing
+/// seed): every faulted page access burns its seek, is retried up to the
+/// attempt budget, and counts into [`IoStats::retries`].
+///
 /// # Errors
 ///
-/// Propagates build and query errors (shape mismatches, invalid budgets).
+/// Propagates build and query errors (shape mismatches, invalid budgets)
+/// and `Error::IoFault` when a query access exhausts its retries.
 pub fn measure_on_disk(
     data: &Dataset,
     topo: &Topology,
@@ -57,18 +70,48 @@ pub fn measure_on_disk(
     cfg: &ExternalConfig,
 ) -> Result<OnDiskMeasurement> {
     let built = build_on_disk(data, topo, cfg)?;
-    let mut query_io = IoStats::default();
     let mut per_query = Vec::with_capacity(centers.len());
-    for c in centers {
-        let res = knn(&built.tree, data, c, k)?;
-        per_query.push(res.stats.leaf_accesses);
-        query_io += IoStats::random(res.stats.total());
+    let query_io;
+    let mut fault_trace = built.fault_trace;
+    match cfg.faults {
+        None => {
+            let mut io = IoStats::default();
+            for c in centers {
+                let res = knn(&built.tree, data, c, k)?;
+                per_query.push(res.stats.leaf_accesses);
+                io += IoStats::random(res.stats.total());
+            }
+            query_io = io;
+        }
+        Some(fcfg) => {
+            // Random accesses are replayed through a scratch disk carrying
+            // the query-phase fault plan: alternating between two
+            // non-adjacent pages makes every access cost exactly one seek
+            // and one transfer — identical to `IoStats::random` — while
+            // the plan injects faults and the retry accounting of
+            // `Disk::access` applies unchanged.
+            let mut qdisk = Disk::new();
+            qdisk.set_fault_plan(Some(FaultPlan::new(fcfg.derived(1))));
+            let qfile = qdisk.alloc(4)?;
+            let mut flip = 0u64;
+            for c in centers {
+                let res = knn(&built.tree, data, c, k)?;
+                per_query.push(res.stats.leaf_accesses);
+                for _ in 0..res.stats.total() {
+                    qdisk.access(&qfile, flip, 1)?;
+                    flip = 2 - flip;
+                }
+            }
+            fault_trace.extend_from_slice(qdisk.fault_trace());
+            query_io = qdisk.stats();
+        }
     }
     Ok(OnDiskMeasurement {
         tree: built.tree,
         build_io: built.io,
         query_io,
         per_query_leaf_accesses: per_query,
+        fault_trace,
     })
 }
 
@@ -93,7 +136,7 @@ mod tests {
             &topo,
             &centers,
             11,
-            &ExternalConfig::with_mem_points(500),
+            &ExternalConfig::with_mem_points(500).unwrap(),
         )
         .unwrap();
         assert_eq!(m.per_query_leaf_accesses.len(), 20);
@@ -108,9 +151,48 @@ mod tests {
     fn empty_workload_costs_no_query_io() {
         let data = random_dataset(500, 4, 52);
         let topo = Topology::from_capacities(4, 500, 10, 5).unwrap();
-        let m =
-            measure_on_disk(&data, &topo, &[], 5, &ExternalConfig::with_mem_points(500)).unwrap();
+        let m = measure_on_disk(
+            &data,
+            &topo,
+            &[],
+            5,
+            &ExternalConfig::with_mem_points(500).unwrap(),
+        )
+        .unwrap();
         assert_eq!(m.query_io, IoStats::default());
         assert_eq!(m.avg_leaf_accesses(), 0.0);
+    }
+
+    #[test]
+    fn faulted_measurement_is_reproducible_and_charges_retries() {
+        use hdidx_faults::FaultConfig;
+        let data = random_dataset(2000, 5, 53);
+        let topo = Topology::from_capacities(5, 2000, 20, 8).unwrap();
+        let centers: Vec<Vec<f32>> = (0..10).map(|i| data.point(i * 7).to_vec()).collect();
+        let base = ExternalConfig::with_mem_points(300).unwrap();
+        let plain = measure_on_disk(&data, &topo, &centers, 9, &base).unwrap();
+        // Zero-rate plan: byte-identical to the fault-free path.
+        let zero = measure_on_disk(
+            &data,
+            &topo,
+            &centers,
+            9,
+            &base.with_faults(Some(FaultConfig::disabled(11))),
+        )
+        .unwrap();
+        assert_eq!(zero.build_io, plain.build_io);
+        assert_eq!(zero.query_io, plain.query_io);
+        assert!(zero.fault_trace.is_empty());
+        // Moderate faults: reproducible, same leaf counts, extra I/O.
+        let fcfg = FaultConfig::disabled(11).with_rate_ppm(20_000);
+        let cfg = base.with_faults(Some(fcfg));
+        let a = measure_on_disk(&data, &topo, &centers, 9, &cfg).unwrap();
+        let b = measure_on_disk(&data, &topo, &centers, 9, &cfg).unwrap();
+        assert_eq!(a.build_io, b.build_io);
+        assert_eq!(a.query_io, b.query_io);
+        assert_eq!(a.fault_trace, b.fault_trace);
+        assert_eq!(a.per_query_leaf_accesses, plain.per_query_leaf_accesses);
+        assert!(a.total_io().retries > 0);
+        assert!(a.query_io.transfers >= plain.query_io.transfers);
     }
 }

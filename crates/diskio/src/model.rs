@@ -10,6 +10,11 @@ pub struct IoStats {
     pub seeks: u64,
     /// Number of page transfers.
     pub transfers: u64,
+    /// Number of access attempts that failed (to an injected fault) and
+    /// were retried. Always zero on a fault-free disk; the seeks/transfers
+    /// the failed attempts burned are already charged to the counters
+    /// above, so `retries` is diagnostic, not an additional cost term.
+    pub retries: u64,
 }
 
 impl IoStats {
@@ -19,6 +24,7 @@ impl IoStats {
         IoStats {
             seeks: 1,
             transfers: pages,
+            retries: 0,
         }
     }
 
@@ -28,16 +34,23 @@ impl IoStats {
         IoStats {
             seeks: n,
             transfers: n,
+            retries: 0,
         }
     }
 }
 
 /// The canonical human-readable rendering, used by the CLI and the bench
 /// binaries instead of hand-formatting the counters:
-/// `"<seeks> seeks, <transfers> page transfers"`.
+/// `"<seeks> seeks, <transfers> page transfers"`, with
+/// `", <retries> retries"` appended only when retries occurred so
+/// fault-free output is unchanged.
 impl fmt::Display for IoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} seeks, {} page transfers", self.seeks, self.transfers)
+        write!(f, "{} seeks, {} page transfers", self.seeks, self.transfers)?;
+        if self.retries > 0 {
+            write!(f, ", {} retries", self.retries)?;
+        }
+        Ok(())
     }
 }
 
@@ -47,6 +60,7 @@ impl Add for IoStats {
         IoStats {
             seeks: self.seeks + rhs.seeks,
             transfers: self.transfers + rhs.transfers,
+            retries: self.retries + rhs.retries,
         }
     }
 }
@@ -55,6 +69,7 @@ impl AddAssign for IoStats {
     fn add_assign(&mut self, rhs: IoStats) {
         self.seeks += rhs.seeks;
         self.transfers += rhs.transfers;
+        self.retries += rhs.retries;
     }
 }
 
@@ -69,7 +84,7 @@ impl AddAssign for IoStats {
 ///
 /// let disk = DiskModel::PAPER; // 10 ms seek, 20 MB/s, 8 KB pages
 /// assert!((disk.t_xfer_s() - 0.4096e-3).abs() < 1e-9);
-/// let io = IoStats { seeks: 100, transfers: 1000 };
+/// let io = IoStats { seeks: 100, transfers: 1000, retries: 0, };
 /// assert!((disk.cost_seconds(io) - (1.0 + 0.4096)).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -126,6 +141,7 @@ mod tests {
         let io = IoStats {
             seeks: 100,
             transfers: 1000,
+            retries: 0,
         };
         let expect = 100.0 * 0.010 + 1000.0 * 8192.0 / 20.0e6;
         assert!((m.cost_seconds(io) - expect).abs() < 1e-12);
@@ -142,6 +158,7 @@ mod tests {
         let io = IoStats {
             seeks: 3,
             transfers: 42,
+            retries: 0,
         };
         assert_eq!(io.to_string(), "3 seeks, 42 page transfers");
     }
@@ -154,7 +171,8 @@ mod tests {
             a,
             IoStats {
                 seeks: 6,
-                transfers: 15
+                transfers: 15,
+                retries: 0,
             }
         );
         let b = a + IoStats::default();

@@ -72,7 +72,8 @@ fn one_sequential_pass_costs_exactly_one_seek() {
                 disk.stats(),
                 IoStats {
                     seeks: 1,
-                    transfers: total
+                    transfers: total,
+                    retries: 0,
                 }
             );
             Verdict::Pass
@@ -88,13 +89,22 @@ fn charge_is_additive() {
         |rng| (rng.gen_range(0..1_000u64), rng.gen_range(0..10_000u64)),
         |&(seeks, transfers)| {
             let mut disk = Disk::new();
-            disk.charge(IoStats { seeks, transfers });
-            disk.charge(IoStats { seeks, transfers });
+            disk.charge(IoStats {
+                seeks,
+                transfers,
+                retries: 0,
+            });
+            disk.charge(IoStats {
+                seeks,
+                transfers,
+                retries: 0,
+            });
             prop_assert_eq!(
                 disk.stats(),
                 IoStats {
                     seeks: 2 * seeks,
-                    transfers: 2 * transfers
+                    transfers: 2 * transfers,
+                    retries: 0,
                 }
             );
             Verdict::Pass
@@ -126,7 +136,8 @@ fn record_access_covers_exactly_the_spanned_pages() {
                 disk.stats(),
                 IoStats {
                     seeks: 1,
-                    transfers: last_page - first_page + 1
+                    transfers: last_page - first_page + 1,
+                    retries: 0,
                 }
             );
             Verdict::Pass

@@ -126,6 +126,7 @@ pub fn predict_basic(
         per_query,
         io: IoStats::run(scan_pages),
         predicted_leaf_pages: pages.len(),
+        degraded: crate::DegradedReport::default(),
     })
 }
 

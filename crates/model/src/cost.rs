@@ -82,6 +82,7 @@ impl CostInputs {
         IoStats {
             seeks: chunks * (1 + k),
             transfers: chunks * (read_per_chunk + write_per_chunk),
+            retries: 0,
         }
     }
 
@@ -93,6 +94,7 @@ impl CostInputs {
         IoStats {
             seeks: k,
             transfers: k * pages,
+            retries: 0,
         }
     }
 
@@ -146,6 +148,7 @@ impl CostInputs {
                 io += IoStats {
                     seeks: chunked_seeks,
                     transfers: 2 * n_pages,
+                    retries: 0,
                 };
             }
             level -= 1;
@@ -159,10 +162,12 @@ impl CostInputs {
         io += IoStats {
             seeks: groups,
             transfers: n_pages,
+            retries: 0,
         };
         io += IoStats {
             seeks: groups,
             transfers: topo.total_pages(),
+            retries: 0,
         };
         io
     }
@@ -238,7 +243,8 @@ mod tests {
             io,
             IoStats {
                 seeks: 3 * (1 + 3),
-                transfers: 3 * (read + write)
+                transfers: 3 * (read + write),
+                retries: 0,
             }
         );
     }

@@ -97,6 +97,7 @@ impl Cutoff {
                 per_query,
                 io,
                 predicted_leaf_pages: pages.len(),
+                degraded: crate::DegradedReport::default(),
             },
             sigma_upper: up.sigma_upper,
             k: up.k(),
@@ -150,7 +151,11 @@ pub fn predict_cutoff(
 /// Replays the bulk loader's splits geometrically inside `rect` (full-scale
 /// point count `n_full` at full-tree `level`), pushing the synthetic
 /// data-page boxes.
-fn synthesize_pages(
+///
+/// Also the degradation fallback of the resampled predictor: an upper leaf
+/// whose second-sample I/O ultimately fails is extrapolated with exactly
+/// this cutoff geometry instead of its lost resample.
+pub(crate) fn synthesize_pages(
     rect: &HyperRect,
     level: usize,
     n_full: f64,

@@ -103,6 +103,40 @@ pub(crate) fn validate_balls(queries: &[QueryBall], dim: usize) -> hdidx_core::R
     Ok(())
 }
 
+/// How much of a prediction came from its primary estimation path when
+/// I/O faults forced parts of it onto a fallback.
+///
+/// Today only the resampled predictor degrades (an upper leaf whose
+/// second-sample read ultimately fails falls back to the cutoff
+/// extrapolation for that leaf); every other predictor always reports the
+/// default "fully healthy" value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedReport {
+    /// Upper-tree leaves whose lower tree fell back to cutoff
+    /// extrapolation because their second-sample I/O failed.
+    pub leaves_degraded: usize,
+    /// Fraction of sampled points whose leaf used the primary (resampled)
+    /// path; `1.0` means no degradation at all.
+    pub coverage_fraction: f64,
+}
+
+impl Default for DegradedReport {
+    fn default() -> Self {
+        DegradedReport {
+            leaves_degraded: 0,
+            coverage_fraction: 1.0,
+        }
+    }
+}
+
+impl DegradedReport {
+    /// Whether any part of the prediction used a fallback path.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.leaves_degraded > 0
+    }
+}
+
 /// Output of a predictor: estimated accesses plus the I/O bill of producing
 /// the estimate.
 #[derive(Debug, Clone)]
@@ -113,6 +147,8 @@ pub struct Prediction {
     pub io: IoStats,
     /// Number of (estimated) data pages in the predicted layout.
     pub predicted_leaf_pages: usize,
+    /// Fault-degradation summary (the default means fully healthy).
+    pub degraded: DegradedReport,
 }
 
 impl Prediction {
@@ -146,6 +182,7 @@ mod tests {
             per_query: vec![10, 20, 30],
             io: IoStats::default(),
             predicted_leaf_pages: 100,
+            degraded: DegradedReport::default(),
         };
         assert!((p.avg_leaf_accesses() - 20.0).abs() < 1e-12);
         assert!((p.relative_error(25.0) - (-0.2)).abs() < 1e-12);
@@ -153,9 +190,23 @@ mod tests {
             per_query: vec![],
             io: IoStats::default(),
             predicted_leaf_pages: 0,
+            degraded: DegradedReport::default(),
         };
         assert_eq!(empty.avg_leaf_accesses(), 0.0);
         assert_eq!(empty.relative_error(0.0), 0.0);
+    }
+
+    #[test]
+    fn degraded_report_defaults_to_healthy() {
+        let d = DegradedReport::default();
+        assert!(!d.is_degraded());
+        assert_eq!(d.leaves_degraded, 0);
+        assert!((d.coverage_fraction - 1.0).abs() < 1e-12);
+        let d = DegradedReport {
+            leaves_degraded: 3,
+            coverage_fraction: 0.8,
+        };
+        assert!(d.is_degraded());
     }
 }
 

@@ -16,13 +16,15 @@
 //! lives in [`crate::cost`] and the two are compared in tests.
 
 use crate::compensation::growth_factor;
+use crate::cutoff::synthesize_pages;
 use crate::hupper::sigma_lower;
 use crate::predictor::Predictor;
 use crate::upper::build_upper_phase;
-use crate::{Prediction, QueryBall};
+use crate::{DegradedReport, Prediction, QueryBall};
 use hdidx_core::rng::{bernoulli_sample, seeded};
-use hdidx_core::{Dataset, HyperRect, Result};
+use hdidx_core::{Dataset, Error, HyperRect, Result};
 use hdidx_diskio::{Disk, IoStats};
+use hdidx_faults::{FaultConfig, FaultEvent, FaultPlan};
 use hdidx_pool::Pool;
 use hdidx_vamsplit::bulkload::bulk_load_subtree_with;
 use hdidx_vamsplit::query::count_sphere_intersections;
@@ -50,18 +52,37 @@ pub struct ResampledPrediction {
     pub sigma_lower: f64,
     /// Number of upper-tree leaf pages `k`.
     pub k: usize,
+    /// Faults injected during the prediction, in decision order (empty
+    /// without a fault configuration).
+    pub fault_trace: Vec<FaultEvent>,
 }
 
 /// The §4.4 resampled predictor as a reusable [`Predictor`].
 #[derive(Debug, Clone, Copy)]
 pub struct Resampled {
     params: ResampledParams,
+    faults: Option<FaultConfig>,
 }
 
 impl Resampled {
-    /// Wraps the parameters into a predictor instance.
+    /// Wraps the parameters into a predictor instance (no fault
+    /// injection).
     pub fn new(params: ResampledParams) -> Resampled {
-        Resampled { params }
+        Resampled {
+            params,
+            faults: None,
+        }
+    }
+
+    /// Attaches (or clears) a fault-injection configuration: the
+    /// prediction's simulated I/O then runs through a seeded fault plan
+    /// with bounded retry, and upper leaves whose second-sample I/O
+    /// ultimately fails degrade to cutoff extrapolation (reported in
+    /// [`Prediction::degraded`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<FaultConfig>) -> Resampled {
+        self.faults = faults;
+        self
     }
 
     /// The wrapped parameters.
@@ -89,7 +110,7 @@ impl Resampled {
         topo: &Topology,
         queries: &[QueryBall],
     ) -> Result<ResampledPrediction> {
-        predict_resampled_impl(data, topo, queries, &self.params)
+        predict_resampled_impl(data, topo, queries, &self.params, self.faults)
     }
 }
 
@@ -125,7 +146,18 @@ pub fn predict_resampled(
     queries: &[QueryBall],
     params: &ResampledParams,
 ) -> Result<ResampledPrediction> {
-    predict_resampled_impl(data, topo, queries, params)
+    predict_resampled_impl(data, topo, queries, params, None)
+}
+
+/// Distinguishes a survivable injected fault from a genuine error: an
+/// [`Error::IoFault`] becomes `Ok(true)` ("this access was lost, degrade
+/// gracefully"), everything else propagates.
+fn access_lost(result: Result<()>) -> Result<bool> {
+    match result {
+        Ok(()) => Ok(false),
+        Err(Error::IoFault { .. }) => Ok(true),
+        Err(e) => Err(e),
+    }
 }
 
 fn predict_resampled_impl(
@@ -133,6 +165,7 @@ fn predict_resampled_impl(
     topo: &Topology,
     queries: &[QueryBall],
     params: &ResampledParams,
+    faults: Option<FaultConfig>,
 ) -> Result<ResampledPrediction> {
     crate::validate_balls(queries, topo.dim())?;
     let up = build_upper_phase(data, topo, params.m, params.h_upper, params.seed)?;
@@ -151,6 +184,9 @@ fn predict_resampled_impl(
 
     // ---- I/O accounting disk -------------------------------------------
     let mut disk = Disk::new();
+    if let Some(fcfg) = faults {
+        disk.set_fault_plan(Some(FaultPlan::new(fcfg)));
+    }
     let data_pages = (n as u64).div_ceil(b);
     let file = disk.alloc(data_pages)?;
     let area_pages = (params.m as u64).div_ceil(b).max(1);
@@ -159,9 +195,18 @@ fn predict_resampled_impl(
     // Step 2 (Eq. 2): read the q query points randomly.
     disk.charge(IoStats::random(queries.len() as u64));
     // Step 3 (Eq. 3): scan the dataset (query spheres + upper sample).
+    // This scan is load-bearing for the whole prediction — an exhausted
+    // retry budget here is a hard failure, not a degradation.
     disk.access(&file, 0, data_pages)?;
 
     // ---- Step 6: resampling scan + distribution ------------------------
+    // Degradation contract: a lost access never changes *which* accesses
+    // follow — points are still distributed (so the box evolution, area
+    // cursors and every later page address stay identical at any fault
+    // rate) and only the receiving areas are marked degraded. This keeps
+    // the fault decisions pointwise comparable across rates, which is what
+    // makes degradation monotone in the fault rate.
+    let mut degraded: Vec<bool> = vec![false; k];
     let mut rng = seeded(params.seed.wrapping_add(0x5EED));
     let resample = bernoulli_sample(&mut rng, n, s_lower);
     // Boxes mutate as points are adopted (Figure 6 b).
@@ -182,12 +227,18 @@ fn predict_resampled_impl(
         } else {
             resample[chunk_end_idx] as u64
         };
-        disk.access_records(&file, span_start, span_end - span_start, b)?;
+        let chunk_lost =
+            access_lost(disk.access_records(&file, span_start, span_end - span_start, b))?;
         span_start = span_end;
         for &pid in &resample[idx..chunk_end_idx] {
             let p = data.point(pid as usize);
             let target = assign_to_box(&mut boxes, p);
             chunk_batches[target].push(pid);
+            if chunk_lost {
+                // The points of this span never made it to memory: every
+                // area that would have received one degrades.
+                degraded[target] = true;
+            }
         }
         idx = chunk_end_idx;
         chunk_count += 1;
@@ -204,7 +255,11 @@ fn predict_resampled_impl(
                 let first_rec = area_cursor[bi];
                 let first_page = (bi as u64) * area_pages + first_rec / b;
                 let last_page = (bi as u64) * area_pages + (first_rec + take as u64 - 1) / b;
-                disk.access(&areas, first_page, last_page - first_page + 1)?;
+                if access_lost(disk.access(&areas, first_page, last_page - first_page + 1))? {
+                    degraded[bi] = true;
+                }
+                // The cursor advances even on a lost flush so later page
+                // addresses are identical at any fault rate.
                 area_cursor[bi] += take as u64;
                 assigned[bi].extend_from_slice(&batch[..take]);
             }
@@ -218,46 +273,91 @@ fn predict_resampled_impl(
     // in-memory builds are independent per area and fan out over the pool
     // (sharing its budget with the nested bulk-load parallelism). Flattening
     // in area order keeps the page list identical to the serial path.
+    // Degraded areas fall back to the cutoff extrapolation of their
+    // (evolved) leaf box instead of a lower-tree build.
     let mut tasks: Vec<(Vec<u32>, f64)> = Vec::new();
+    // Per area: `None` = empty (no pages), `Some(None)` = degraded
+    // fallback, `Some(Some(t))` = task index `t` in `tasks`.
+    let mut area_plan: Vec<Option<Option<usize>>> = vec![None; k];
     for (bi, ids) in assigned.iter().enumerate() {
         if ids.is_empty() {
             continue;
         }
         // Read the area back (one sequential run).
         let used_pages = (ids.len() as u64).div_ceil(b);
-        disk.access(&areas, (bi as u64) * area_pages, used_pages)?;
+        if access_lost(disk.access(&areas, (bi as u64) * area_pages, used_pages))? {
+            degraded[bi] = true;
+        }
+        if degraded[bi] {
+            area_plan[bi] = Some(None);
+            continue;
+        }
         // Unbiased estimate of the full-scale point count below this upper
         // leaf: the area's sample count scaled back by sigma_lower (exact
         // when sigma_lower = 1).
         let n_full = (ids.len() as f64 / s_lower).max(2.0);
+        area_plan[bi] = Some(Some(tasks.len()));
         tasks.push((ids.clone(), n_full));
     }
     let pool = Pool::current();
-    let built = pool.par_map_vec(tasks, |(ids, n_full)| -> Result<Vec<HyperRect>> {
-        let lower = bulk_load_subtree_with(&pool, data, ids, topo, n_full, up.leaf_level)?;
-        let mut grown = Vec::with_capacity(lower.num_leaves());
-        for leaf in lower.leaves() {
-            grown.push(leaf.rect.scaled_about_center(leaf_factor)?);
-        }
-        Ok(grown)
-    });
+    let mut built = pool
+        .par_map_vec(tasks, |(ids, n_full)| -> Result<Vec<HyperRect>> {
+            let lower = bulk_load_subtree_with(&pool, data, ids, topo, n_full, up.leaf_level)?;
+            let mut grown = Vec::with_capacity(lower.num_leaves());
+            for leaf in lower.leaves() {
+                grown.push(leaf.rect.scaled_about_center(leaf_factor)?);
+            }
+            Ok(grown)
+        })
+        .into_iter();
     let mut pages: Vec<HyperRect> = Vec::new();
-    for group in built {
-        pages.extend(group?);
+    let mut leaves_degraded = 0usize;
+    let mut covered_points = 0usize;
+    let mut total_points = 0usize;
+    for (bi, plan) in area_plan.iter().enumerate() {
+        total_points += assigned[bi].len();
+        match plan {
+            None => {}
+            Some(None) => {
+                // Cutoff fallback: replay the splits geometrically inside
+                // the evolved leaf box, sized by the upper-phase estimate
+                // of the full-scale point count below this leaf.
+                leaves_degraded += 1;
+                let n_full = (up.leaf_samples[bi].len() as f64 / up.sigma_upper).max(2.0);
+                synthesize_pages(&boxes[bi], up.leaf_level, n_full, topo, &mut pages);
+            }
+            Some(Some(_)) => {
+                covered_points += assigned[bi].len();
+                let group = built.next().expect("one build result per task")?;
+                pages.extend(group);
+            }
+        }
     }
+    debug_assert!(built.next().is_none());
+    let coverage_fraction = if total_points == 0 {
+        1.0
+    } else {
+        covered_points as f64 / total_points as f64
+    };
 
     let per_query: Vec<u64> = pool.par_map(queries, |q| {
         count_sphere_intersections(&pages, &q.center, q.radius)
     });
+    let fault_trace = disk.fault_trace().to_vec();
     Ok(ResampledPrediction {
         prediction: Prediction {
             per_query,
             io: disk.stats(),
             predicted_leaf_pages: pages.len(),
+            degraded: DegradedReport {
+                leaves_degraded,
+                coverage_fraction,
+            },
         },
         sigma_upper: up.sigma_upper,
         sigma_lower: s_lower,
         k,
+        fault_trace,
     })
 }
 

@@ -72,6 +72,7 @@ pub fn predict_basic_sstree(
         per_query,
         io: IoStats::run(scan_pages),
         predicted_leaf_pages: grown.len(),
+        degraded: crate::DegradedReport::default(),
     })
 }
 

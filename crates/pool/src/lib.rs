@@ -56,8 +56,17 @@
 //! Panics in work functions propagate to the caller of the primitive
 //! (after all sibling threads of the scope have finished), preserving the
 //! panic payload — the same observable behavior as the serial path.
+//!
+//! When one item's failure must not take down the whole batch, the
+//! *isolated* variants ([`Pool::par_map_isolated`],
+//! [`Pool::par_map_vec_isolated`]) catch the panic of each work item
+//! individually and return per-item `Result<R, WorkerPanic>` — panic
+//! isolation for fault-tolerant pipelines. Isolation keeps the
+//! determinism contract: which items panic is a property of the items,
+//! not of scheduling, so the `Ok`/`Err` pattern is identical for any
+//! thread count.
 
-use std::panic::resume_unwind;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -335,7 +344,65 @@ impl Pool {
         let chunks: Vec<(usize, &[T])> = items.chunks(chunk_size).enumerate().collect();
         self.par_map(&chunks, |&(i, chunk)| f(i, chunk))
     }
+
+    /// Like [`Pool::par_map`], but a panicking work item yields a per-item
+    /// `Err(WorkerPanic)` instead of tearing down the whole batch: the
+    /// remaining items still run and return their results in order.
+    pub fn par_map_isolated<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, WorkerPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map(items, |item| {
+            catch_unwind(AssertUnwindSafe(|| f(item))).map_err(WorkerPanic::from_payload)
+        })
+    }
+
+    /// Like [`Pool::par_map_vec`], but with per-item panic isolation (see
+    /// [`Pool::par_map_isolated`]).
+    pub fn par_map_vec_isolated<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<Result<R, WorkerPanic>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        self.par_map_vec(items, |item| {
+            catch_unwind(AssertUnwindSafe(|| f(item))).map_err(WorkerPanic::from_payload)
+        })
+    }
 }
+
+/// A worker panic caught by an isolated combinator, reduced to its
+/// human-readable message (panic payloads are not `Send`-portable beyond
+/// the common string forms).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The panic message (`"<non-string panic payload>"` when the payload
+    /// was neither `&str` nor `String`).
+    pub message: String,
+}
+
+impl WorkerPanic {
+    fn from_payload(payload: Box<dyn std::any::Any + Send>) -> WorkerPanic {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        WorkerPanic { message }
+    }
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
 
 /// Returns reserved budget on drop, so panics cannot leak it.
 struct BudgetGuard<'a> {
@@ -424,6 +491,54 @@ mod tests {
         let result = std::panic::catch_unwind(|| pool.join(|| 1, || panic!("offloaded panic")));
         assert!(result.is_err());
         assert_eq!(pool.spare.load(Ordering::Acquire), 1);
+    }
+
+    #[test]
+    fn isolated_map_survives_per_item_panics() {
+        let items: Vec<u32> = (0..100).collect();
+        let expect: Vec<Result<u32, WorkerPanic>> = items
+            .iter()
+            .map(|&x| {
+                if x % 31 == 5 {
+                    Err(WorkerPanic {
+                        message: format!("boom at {x}"),
+                    })
+                } else {
+                    Ok(x * 2)
+                }
+            })
+            .collect();
+        for t in [1, 2, 8] {
+            let pool = Pool::new(t);
+            let out = pool.par_map_isolated(&items, |&x| {
+                assert!(x % 31 != 5, "boom at {x}");
+                x * 2
+            });
+            assert_eq!(out, expect, "t={t}");
+            // Budget restored despite the caught panics.
+            assert_eq!(pool.spare.load(Ordering::Acquire), t as isize - 1);
+        }
+        let owned: Vec<u32> = items.clone();
+        let out = Pool::new(4).par_map_vec_isolated(owned, |x| {
+            assert!(x % 31 != 5, "boom at {x}");
+            x * 2
+        });
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn worker_panic_formats_and_degrades_gracefully() {
+        let p = WorkerPanic {
+            message: "oops".into(),
+        };
+        assert_eq!(p.to_string(), "worker panicked: oops");
+        let out = Pool::serial().par_map_isolated(&[1u32], |_| -> u32 {
+            std::panic::panic_any(42u32) // a non-string payload
+        });
+        assert_eq!(
+            out[0].as_ref().unwrap_err().message,
+            "<non-string panic payload>"
+        );
     }
 
     #[test]

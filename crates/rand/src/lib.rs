@@ -25,7 +25,7 @@ pub mod stats;
 pub mod traits;
 pub mod xoshiro;
 
-pub use splitmix::SplitMix64;
+pub use splitmix::{derive_seed, SplitMix64};
 pub use stats::{
     bernoulli_sample, reservoir_sample, reservoir_sample_iter, sample_without_replacement,
     standard_normal,

@@ -313,6 +313,9 @@ fn build_segment(
         }
         ids_out.extend_from_slice(&sub_ids);
     }
+    // Invariant: `partition_groups` covers the segment exactly, and this
+    // segment is non-empty (checked at entry), so at least one group — and
+    // therefore one merged child arena — is non-empty and `rect` is set.
     debug_assert!(!children.is_empty(), "non-empty segment yields a child");
     nodes[0].rect = rect.expect("at least one child");
     nodes[0].kind = NodeKind::Inner { children };
@@ -337,6 +340,8 @@ impl<'a> Builder<'a> {
             },
         });
         if level == self.stop_level {
+            // Invariant: start < end (the empty segment returned None
+            // above), so the MBR of the slice always exists.
             let rect = self
                 .data
                 .mbr_of(&self.ids[start..end])
@@ -369,6 +374,8 @@ impl<'a> Builder<'a> {
                 children.push(child);
             }
         }
+        // Invariant: the groups partition `start..end` (non-empty here), so
+        // at least one recursive call received points and returned a child.
         debug_assert!(!children.is_empty(), "non-empty segment yields a child");
         let node = &mut self.nodes[my_index as usize];
         node.rect = rect.expect("at least one child");
@@ -413,6 +420,8 @@ fn partition_groups(
         r.min(len)
     };
     if rank > 0 && rank < len {
+        // Invariant: 0 < rank < len implies the slice holds >= 2 points,
+        // so a maximum-variance dimension exists.
         let dim = max_variance_dim(data, &ids[start..end]).expect("non-empty");
         partition_by_rank(data, &mut ids[start..end], dim, rank);
     }

@@ -35,7 +35,7 @@ fn main() {
         &topo,
         &centers,
         workload.k,
-        &ExternalConfig::with_mem_points(m),
+        &ExternalConfig::with_mem_points(m).unwrap(),
     )
     .expect("measurement");
     let truth = measured.avg_leaf_accesses();

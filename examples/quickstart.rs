@@ -79,7 +79,7 @@ fn main() {
         &topo,
         &centers,
         workload.k,
-        &ExternalConfig::with_mem_points(m),
+        &ExternalConfig::with_mem_points(m).unwrap(),
     )
     .expect("measurement");
     println!(

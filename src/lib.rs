@@ -3,6 +3,7 @@ pub use hdidx_baselines as baselines;
 pub use hdidx_core as core;
 pub use hdidx_datagen as datagen;
 pub use hdidx_diskio as diskio;
+pub use hdidx_faults as faults;
 pub use hdidx_model as model;
 pub use hdidx_pool as pool;
 pub use hdidx_vamsplit as vamsplit;

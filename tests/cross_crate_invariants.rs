@@ -33,7 +33,8 @@ fn external_build_matches_in_memory_build_on_clustered_data() {
     let topo = Topology::new(12, 12_000, &PageConfig::DEFAULT).unwrap();
     let mem = bulk_load(&data, &topo).unwrap();
     for m in [600usize, 2_000, 12_000] {
-        let ext = build_on_disk(&data, &topo, &ExternalConfig::with_mem_points(m)).unwrap();
+        let ext =
+            build_on_disk(&data, &topo, &ExternalConfig::with_mem_points(m).unwrap()).unwrap();
         assert_eq!(ext.tree.num_leaves(), mem.num_leaves(), "m = {m}");
         let rects_mem: Vec<_> = mem.leaf_rects();
         let rects_ext: Vec<_> = ext.tree.leaf_rects();

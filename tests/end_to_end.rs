@@ -46,7 +46,7 @@ fn pipeline(n: usize, dim: usize, m: usize, seed: u64) -> Pipeline {
         &topo,
         &centers,
         21,
-        &ExternalConfig::with_mem_points(m),
+        &ExternalConfig::with_mem_points(m).unwrap(),
     )
     .unwrap();
     Pipeline {

@@ -1,0 +1,217 @@
+//! The PR's robustness contract, end to end across crates:
+//!
+//! 1. **Zero-fault identity** — installing a zero-rate fault plan is
+//!    byte-identical to running with no plan at all: same trees, same
+//!    `IoStats`, same predictions, empty trace.
+//! 2. **Seeded reproducibility, thread-count independent** — the same
+//!    fault seed reproduces the identical fault trace, retry counts and
+//!    degraded output for 1, 2 and 8 worker threads (the workspace
+//!    determinism contract extended to the failure paths).
+//! 3. **Monotone, graceful degradation** — raising the fault rate can
+//!    only degrade more upper leaves and lower the resampled coverage,
+//!    never the reverse, and predictions under moderate fault pressure
+//!    stay close to the fault-free estimate instead of collapsing.
+
+use hdidx_repro::core::rng::{seeded, Rng};
+use hdidx_repro::core::Dataset;
+use hdidx_repro::diskio::external::{build_on_disk, ExternalConfig};
+use hdidx_repro::diskio::measure::measure_on_disk;
+use hdidx_repro::faults::FaultConfig;
+use hdidx_repro::model::{QueryBall, Resampled, ResampledParams};
+use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
+
+const THREAD_COUNTS: &[usize] = &[1, 2, 8];
+
+fn clustered_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = seeded(seed);
+    let data: Vec<f32> = (0..n * dim)
+        .map(|i| {
+            let cluster = ((i / dim) % 7) as f32 * 0.13;
+            cluster + 0.1 * rng.gen::<f32>()
+        })
+        .collect();
+    Dataset::from_flat(dim, data).unwrap()
+}
+
+fn workload(data: &Dataset, q: usize) -> Vec<QueryBall> {
+    (0..q)
+        .map(|i| QueryBall::new(data.point(i * 173).to_vec(), 0.05 + 0.01 * i as f64))
+        .collect()
+}
+
+/// Contract 1: a zero-rate plan must not perturb anything — the fault
+/// path's charging is the fault-free path's charging.
+#[test]
+fn zero_fault_plan_is_byte_identical_across_the_stack() {
+    let n = 6_000;
+    let data = clustered_dataset(n, 6, 29);
+    let topo = Topology::new(6, n, &PageConfig::DEFAULT).unwrap();
+    let centers: Vec<Vec<f32>> = (0..15).map(|i| data.point(i * 311).to_vec()).collect();
+    let queries = workload(&data, 25);
+    let base = ExternalConfig::with_mem_points(900).unwrap();
+    let zeroed = base.with_faults(Some(FaultConfig::disabled(77)));
+
+    // External build: identical tree and I/O, empty trace.
+    let plain = build_on_disk(&data, &topo, &base).unwrap();
+    let zero = build_on_disk(&data, &topo, &zeroed).unwrap();
+    assert_eq!(plain.tree, zero.tree);
+    assert_eq!(plain.io, zero.io);
+    assert!(zero.fault_trace.is_empty());
+
+    // Measurement: identical build + query bill and leaf counts.
+    let m_plain = measure_on_disk(&data, &topo, &centers, 7, &base).unwrap();
+    let m_zero = measure_on_disk(&data, &topo, &centers, 7, &zeroed).unwrap();
+    assert_eq!(m_plain.build_io, m_zero.build_io);
+    assert_eq!(m_plain.query_io, m_zero.query_io);
+    assert_eq!(
+        m_plain.per_query_leaf_accesses,
+        m_zero.per_query_leaf_accesses
+    );
+    assert!(m_zero.fault_trace.is_empty());
+
+    // Resampled predictor: identical prediction, fully healthy report.
+    let params = ResampledParams {
+        m: 900,
+        h_upper: 2,
+        seed: 3,
+    };
+    let p_plain = Resampled::new(params).run(&data, &topo, &queries).unwrap();
+    let p_zero = Resampled::new(params)
+        .with_faults(Some(FaultConfig::disabled(77)))
+        .run(&data, &topo, &queries)
+        .unwrap();
+    assert_eq!(p_plain.prediction.per_query, p_zero.prediction.per_query);
+    assert_eq!(p_plain.prediction.io, p_zero.prediction.io);
+    assert_eq!(p_plain.prediction.degraded, p_zero.prediction.degraded);
+    assert!(!p_zero.prediction.degraded.is_degraded());
+    assert!((p_zero.prediction.degraded.coverage_fraction - 1.0).abs() < 1e-12);
+    assert!(p_zero.fault_trace.is_empty());
+    assert_eq!(p_zero.prediction.io.retries, 0);
+}
+
+/// Contract 2: the same fault seed replays the identical fault trace,
+/// retry counts and degraded report for every thread count. Varies the
+/// *global* thread configuration, so everything thread-sensitive lives in
+/// this one `#[test]` (the setting is process-wide).
+#[test]
+fn same_seed_reproduces_faults_for_any_thread_count() {
+    let n = 9_000;
+    let data = clustered_dataset(n, 6, 31);
+    let topo = Topology::new(6, n, &PageConfig::DEFAULT).unwrap();
+    let queries = workload(&data, 30);
+    let fcfg = FaultConfig::disabled(13).with_rate_ppm(150_000);
+    let predictor = Resampled::new(ResampledParams {
+        m: 1_200,
+        h_upper: 2,
+        seed: 5,
+    })
+    .with_faults(Some(fcfg));
+
+    hdidx_repro::pool::set_threads(1);
+    let reference = predictor.run(&data, &topo, &queries).unwrap();
+    assert!(
+        !reference.fault_trace.is_empty(),
+        "15% fault pressure must inject something"
+    );
+    assert!(reference.prediction.io.retries > 0);
+
+    for &t in THREAD_COUNTS {
+        hdidx_repro::pool::set_threads(t);
+        let run = predictor.run(&data, &topo, &queries).unwrap();
+        assert_eq!(
+            reference.fault_trace, run.fault_trace,
+            "fault trace differs at t={t}"
+        );
+        assert_eq!(
+            reference.prediction.io, run.prediction.io,
+            "I/O (incl. retries) differs at t={t}"
+        );
+        assert_eq!(
+            reference.prediction.degraded, run.prediction.degraded,
+            "degraded report differs at t={t}"
+        );
+        assert_eq!(
+            reference.prediction.per_query, run.prediction.per_query,
+            "predictions differ at t={t}"
+        );
+    }
+    hdidx_repro::pool::set_threads(1);
+
+    // The (serial) on-disk measurement replays its trace under the same
+    // seed too. It has no degradation fallback — an exhausted access is a
+    // hard `IoFault` — so it runs at a gentler rate that bounded retry
+    // always absorbs.
+    let centers: Vec<Vec<f32>> = (0..10).map(|i| data.point(i * 419).to_vec()).collect();
+    let cfg = ExternalConfig::with_mem_points(1_200)
+        .unwrap()
+        .with_faults(Some(fcfg.with_rate_ppm(30_000)));
+    let a = measure_on_disk(&data, &topo, &centers, 7, &cfg).unwrap();
+    let b = measure_on_disk(&data, &topo, &centers, 7, &cfg).unwrap();
+    assert_eq!(a.fault_trace, b.fault_trace);
+    assert_eq!(a.total_io(), b.total_io());
+    assert!(a.total_io().retries > 0);
+}
+
+/// Contract 3: for a fixed seed, raising the fault rate degrades the
+/// resampled prediction monotonically (fault decisions are keyed per
+/// access, so a higher rate only adds faults) and gracefully (degraded
+/// leaves fall back to cutoff extrapolation instead of failing the run).
+#[test]
+fn degradation_is_monotone_and_graceful_in_the_fault_rate() {
+    let n = 9_000;
+    let data = clustered_dataset(n, 6, 37);
+    let topo = Topology::new(6, n, &PageConfig::DEFAULT).unwrap();
+    let queries = workload(&data, 30);
+    let params = ResampledParams {
+        m: 1_200,
+        h_upper: 2,
+        seed: 9,
+    };
+    let healthy = Resampled::new(params).run(&data, &topo, &queries).unwrap();
+    let healthy_avg = healthy.prediction.avg_leaf_accesses();
+    assert!(healthy_avg > 0.0);
+
+    let mut last_degraded = 0usize;
+    let mut last_coverage = 1.0f64;
+    let mut last_retries = 0u64;
+    let mut saw_degradation = false;
+    for ppm in [0u32, 20_000, 100_000, 250_000, 400_000] {
+        let fcfg = FaultConfig::disabled(21).with_rate_ppm(ppm);
+        let run = Resampled::new(params)
+            .with_faults(Some(fcfg))
+            .run(&data, &topo, &queries)
+            .unwrap_or_else(|e| panic!("rate {ppm} ppm must degrade, not fail: {e}"));
+        let d = run.prediction.degraded;
+        assert!(
+            d.leaves_degraded >= last_degraded,
+            "{ppm} ppm: degraded leaves fell from {last_degraded} to {}",
+            d.leaves_degraded
+        );
+        assert!(
+            d.coverage_fraction <= last_coverage + 1e-12,
+            "{ppm} ppm: coverage rose from {last_coverage} to {}",
+            d.coverage_fraction
+        );
+        assert!(
+            run.prediction.io.retries >= last_retries,
+            "{ppm} ppm: retries fell from {last_retries} to {}",
+            run.prediction.io.retries
+        );
+        // Graceful: the cutoff fallback keeps the estimate in the same
+        // ballpark as the fault-free prediction, never zero or wild.
+        let avg = run.prediction.avg_leaf_accesses();
+        assert!(
+            avg >= 0.3 * healthy_avg && avg <= 3.0 * healthy_avg,
+            "{ppm} ppm: estimate {avg} strayed from healthy {healthy_avg}"
+        );
+        saw_degradation |= d.is_degraded();
+        last_degraded = d.leaves_degraded;
+        last_coverage = d.coverage_fraction;
+        last_retries = run.prediction.io.retries;
+    }
+    assert!(
+        saw_degradation,
+        "the sweep must actually exercise the fallback path"
+    );
+    assert!(last_coverage < 1.0);
+}
