@@ -32,6 +32,16 @@ for fault_seed in 1 20250807; do
   HDIDX_FAULT_SEED="${fault_seed}" cargo test -q --offline --workspace
 done
 
+# Burst-heavy chaos leg: correlated bad regions on top of the point rates,
+# absorbed by the exponential backoff policy. Exercises the env precedence
+# chain (HDIDX_FAULT_* + HDIDX_RETRY_*) end to end.
+echo "==> cargo test -q --offline --workspace (burst chaos + exponential retry)"
+HDIDX_FAULT_SEED=7 HDIDX_FAULT_BURST_PPM=50000 HDIDX_RETRY_POLICY=exponential \
+  cargo test -q --offline --workspace
+
+echo "==> fault_sweep --smoke (degradation-vs-accuracy experiment)"
+cargo run -q --release -p hdidx-bench --bin fault_sweep --offline -- --smoke
+
 echo "==> cargo bench --no-run --offline (bench targets must compile)"
 cargo bench --no-run --offline
 

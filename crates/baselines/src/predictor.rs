@@ -201,8 +201,9 @@ pub struct PredictorConfig {
     pub bins_per_dim: usize,
     /// Sampled point pairs (distance-distribution model).
     pub pairs: usize,
-    /// Fault-injection plan applied by fault-aware predictors (today only
-    /// the resampled model's second-sample I/O); `None` disables injection.
+    /// Fault-injection plan applied by the paper's predictors (basic,
+    /// cutoff, resampled), each of which degrades gracefully when retries
+    /// exhaust; `None` disables injection.
     pub faults: Option<FaultConfig>,
 }
 
@@ -240,16 +241,22 @@ pub const PREDICTOR_NAMES: &[&str] = &[
 #[must_use]
 pub fn by_name(name: &str, cfg: &PredictorConfig) -> Option<Box<dyn Predictor>> {
     match name {
-        "basic" => Some(Box::new(Basic::new(BasicParams {
-            zeta: cfg.zeta,
-            compensate: true,
-            seed: cfg.seed,
-        }))),
-        "cutoff" => Some(Box::new(Cutoff::new(CutoffParams {
-            m: cfg.m,
-            h_upper: cfg.h_upper,
-            seed: cfg.seed,
-        }))),
+        "basic" => Some(Box::new(
+            Basic::new(BasicParams {
+                zeta: cfg.zeta,
+                compensate: true,
+                seed: cfg.seed,
+            })
+            .with_faults(cfg.faults),
+        )),
+        "cutoff" => Some(Box::new(
+            Cutoff::new(CutoffParams {
+                m: cfg.m,
+                h_upper: cfg.h_upper,
+                seed: cfg.seed,
+            })
+            .with_faults(cfg.faults),
+        )),
         "resampled" => Some(Box::new(
             Resampled::new(ResampledParams {
                 m: cfg.m,

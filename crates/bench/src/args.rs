@@ -11,17 +11,21 @@ pub struct ExpArgs {
     pub k: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Reduced sweep for CI smoke runs (`--smoke`).
+    pub smoke: bool,
 }
 
 impl ExpArgs {
-    /// Parses `--scale F`, `--full`, `--queries N`, `--k N`, `--seed N`
-    /// from the process arguments, starting from the given defaults.
+    /// Parses `--scale F`, `--full`, `--queries N`, `--k N`, `--seed N`,
+    /// `--smoke` from the process arguments, starting from the given
+    /// defaults.
     pub fn parse(default_scale: f64, default_queries: usize) -> ExpArgs {
         let mut out = ExpArgs {
             scale: default_scale,
             queries: default_queries,
             k: 21,
             seed: 20010521, // SIGMOD 2001, May 21
+            smoke: false,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -40,6 +44,7 @@ impl ExpArgs {
                 "--seed" => {
                     out.seed = next_f64(&argv, &mut i, "--seed") as u64;
                 }
+                "--smoke" => out.smoke = true,
                 other => {
                     eprintln!("warning: ignoring unknown argument `{other}`");
                 }

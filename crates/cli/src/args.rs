@@ -7,6 +7,7 @@
 //! `hdidx_baselines::PREDICTOR_NAMES` registry).
 
 use hdidx_baselines::PREDICTOR_NAMES;
+use hdidx_faults::{FaultPhase, RetryPolicy};
 
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +52,12 @@ pub enum Command {
         fault_seed: Option<u64>,
         /// Fault rate override in ppm (transient; torn/spikes at half).
         fault_ppm: Option<u32>,
+        /// Retry/backoff policy override (None = `HDIDX_RETRY_POLICY` /
+        /// `HDIDX_RETRY_BUDGET` or the fixed default).
+        retry: Option<RetryPolicy>,
+        /// Per-phase fault-rate percentages in `FaultPhase::ALL` order
+        /// (None = 100 % everywhere).
+        fault_phase_scale: Option<[u16; 3]>,
     },
     /// Run every predictor plus the measured ground truth in one report.
     Compare {
@@ -72,6 +79,12 @@ pub enum Command {
         fault_seed: Option<u64>,
         /// Fault rate override in ppm (transient; torn/spikes at half).
         fault_ppm: Option<u32>,
+        /// Retry/backoff policy override (None = `HDIDX_RETRY_POLICY` /
+        /// `HDIDX_RETRY_BUDGET` or the fixed default).
+        retry: Option<RetryPolicy>,
+        /// Per-phase fault-rate percentages in `FaultPhase::ALL` order
+        /// (None = 100 % everywhere).
+        fault_phase_scale: Option<[u16; 3]>,
     },
     /// Build the index (simulated on-disk) and measure ground truth.
     Measure {
@@ -93,6 +106,12 @@ pub enum Command {
         fault_seed: Option<u64>,
         /// Fault rate override in ppm (transient; torn/spikes at half).
         fault_ppm: Option<u32>,
+        /// Retry/backoff policy override (None = `HDIDX_RETRY_POLICY` /
+        /// `HDIDX_RETRY_BUDGET` or the fixed default).
+        retry: Option<RetryPolicy>,
+        /// Per-phase fault-rate percentages in `FaultPhase::ALL` order
+        /// (None = 100 % everywhere).
+        fault_phase_scale: Option<[u16; 3]>,
     },
     /// Generate a named dataset analog as CSV.
     Generate {
@@ -118,13 +137,16 @@ USAGE:
                  [--predictor resampled|cutoff|basic|uniform|fractal|histogram|distdist]
                  [--queries 500] [--k 21] [--h-upper N] [--zeta F]
                  [--page-bytes 8192] [--seed 42] [--threads N]
-                 [--fault-seed S] [--fault-ppm P]
+                 [--fault-seed S] [--fault-ppm P] [--fault-phase-scale SPEC]
+                 [--retry-policy fixed|exponential|budgeted] [--retry-budget B]
   hdidx measure  --data <csv> --m <points> [--queries 500] [--k 21]
                  [--page-bytes 8192] [--seed 42] [--threads N]
-                 [--fault-seed S] [--fault-ppm P]
+                 [--fault-seed S] [--fault-ppm P] [--fault-phase-scale SPEC]
+                 [--retry-policy fixed|exponential|budgeted] [--retry-budget B]
   hdidx compare  --data <csv> --m <points> [--queries 500] [--k 21]
                  [--page-bytes 8192] [--seed 42] [--threads N]
-                 [--fault-seed S] [--fault-ppm P]
+                 [--fault-seed S] [--fault-ppm P] [--fault-phase-scale SPEC]
+                 [--retry-policy fixed|exponential|budgeted] [--retry-budget B]
   hdidx generate --dataset <name> [--scale 1.0] --out <csv>
 
 `--threads 1` forces serial execution; omitting --threads uses the
@@ -138,6 +160,25 @@ spikes run at half that). Omitting --fault-seed falls back to the
 HDIDX_FAULT_SEED / HDIDX_FAULT_PPM environment variables; without
 either, no faults are injected. The same fault seed reproduces the
 identical fault trace, retry counts, and degraded output.
+HDIDX_FAULT_BURST_PPM additionally enables correlated fault bursts over
+seeded bad page regions at the given per-attempt rate.
+
+`--fault-phase-scale` rescales the fault rates per pipeline phase, as a
+comma-separated list of `phase:pct` pairs over the phases `build`,
+`query`, and `predict` (unnamed phases stay at 100). For example
+`--fault-phase-scale build:5,query:5,predict:300` concentrates fault
+pressure on the predictors' sampled I/O while the index build and the
+ground-truth measurement run nearly clean — the setting that makes
+degraded predictor rows observable in `compare` end to end.
+
+`--retry-policy` paces retries after failed attempts: `fixed` retries
+immediately (default), `exponential` charges 2^attempt (+ deterministic
+jitter) seek-equivalents of backoff into the I/O bill, and `budgeted`
+follows the exponential schedule but gives up once a per-access backoff
+budget (`--retry-budget`, default 64 seek-equivalents) would be
+overdrawn. `--retry-budget` alone implies the budgeted policy. Explicit
+flags override the HDIDX_RETRY_POLICY / HDIDX_RETRY_BUDGET environment
+variables, which override the fixed default.
 ";
 
 struct Opts {
@@ -203,6 +244,43 @@ impl Opts {
     }
 }
 
+fn parse_retry(opts: &Opts) -> Result<Option<RetryPolicy>, String> {
+    let budget: Option<u32> = opts.parse_opt("retry-budget")?;
+    match opts.get("retry-policy") {
+        Some(name) => RetryPolicy::parse(name, budget)
+            .map(Some)
+            .map_err(|e| format!("option --retry-policy: {e}")),
+        // A budget alone implies the budgeted policy (mirrors the
+        // HDIDX_RETRY_BUDGET environment variable).
+        None => Ok(budget.map(|budget_seeks| RetryPolicy::Budgeted { budget_seeks })),
+    }
+}
+
+fn parse_phase_scale(opts: &Opts) -> Result<Option<[u16; 3]>, String> {
+    let Some(spec) = opts.get("fault-phase-scale") else {
+        return Ok(None);
+    };
+    let mut scale = [100u16; 3];
+    for part in spec.split(',') {
+        let (name, pct) = part.split_once(':').ok_or_else(|| {
+            format!("option --fault-phase-scale: expected phase:pct, got `{part}`")
+        })?;
+        let idx = FaultPhase::ALL
+            .iter()
+            .position(|p| p.as_str() == name)
+            .ok_or_else(|| {
+                format!(
+                    "option --fault-phase-scale: unknown phase `{name}` (expected {})",
+                    FaultPhase::ALL.map(|p| p.as_str()).join(", ")
+                )
+            })?;
+        scale[idx] = pct
+            .parse()
+            .map_err(|_| format!("option --fault-phase-scale: cannot parse percentage `{pct}`"))?;
+    }
+    Ok(Some(scale))
+}
+
 fn parse_threads(opts: &Opts) -> Result<Option<usize>, String> {
     let threads: Option<usize> = opts.parse_opt("threads")?;
     if threads == Some(0) {
@@ -248,6 +326,9 @@ impl Cli {
                     "threads",
                     "fault-seed",
                     "fault-ppm",
+                    "fault-phase-scale",
+                    "retry-policy",
+                    "retry-budget",
                 ])?;
                 let predictor = opts.get("predictor").unwrap_or("resampled").to_string();
                 if !PREDICTOR_NAMES.contains(&predictor.as_str()) {
@@ -271,6 +352,8 @@ impl Cli {
                     threads: parse_threads(&opts)?,
                     fault_seed: opts.parse_opt("fault-seed")?,
                     fault_ppm: opts.parse_opt("fault-ppm")?,
+                    retry: parse_retry(&opts)?,
+                    fault_phase_scale: parse_phase_scale(&opts)?,
                 }
             }
             "compare" => {
@@ -284,6 +367,9 @@ impl Cli {
                     "threads",
                     "fault-seed",
                     "fault-ppm",
+                    "fault-phase-scale",
+                    "retry-policy",
+                    "retry-budget",
                 ])?;
                 Command::Compare {
                     data: opts.required("data")?,
@@ -297,6 +383,8 @@ impl Cli {
                     threads: parse_threads(&opts)?,
                     fault_seed: opts.parse_opt("fault-seed")?,
                     fault_ppm: opts.parse_opt("fault-ppm")?,
+                    retry: parse_retry(&opts)?,
+                    fault_phase_scale: parse_phase_scale(&opts)?,
                 }
             }
             "measure" => {
@@ -310,6 +398,9 @@ impl Cli {
                     "threads",
                     "fault-seed",
                     "fault-ppm",
+                    "fault-phase-scale",
+                    "retry-policy",
+                    "retry-budget",
                 ])?;
                 Command::Measure {
                     data: opts.required("data")?,
@@ -323,6 +414,8 @@ impl Cli {
                     threads: parse_threads(&opts)?,
                     fault_seed: opts.parse_opt("fault-seed")?,
                     fault_ppm: opts.parse_opt("fault-ppm")?,
+                    retry: parse_retry(&opts)?,
+                    fault_phase_scale: parse_phase_scale(&opts)?,
                 }
             }
             "generate" => {
@@ -364,6 +457,8 @@ mod tests {
                 threads,
                 fault_seed,
                 fault_ppm,
+                retry,
+                fault_phase_scale,
             } => {
                 assert_eq!(data, "a.csv");
                 assert_eq!(page_bytes, 8192);
@@ -377,6 +472,8 @@ mod tests {
                 assert_eq!(threads, None);
                 assert_eq!(fault_seed, None);
                 assert_eq!(fault_ppm, None);
+                assert_eq!(retry, None);
+                assert_eq!(fault_phase_scale, None);
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -445,6 +542,76 @@ mod tests {
         assert!(Cli::parse(&argv("compare --data a.csv --m 10 --fault-ppm -1")).is_err());
         // info/generate take no fault flags.
         assert!(Cli::parse(&argv("info --data a.csv --fault-seed 1")).is_err());
+    }
+
+    #[test]
+    fn parses_retry_flags() {
+        let cli = Cli::parse(&argv(
+            "measure --data d.csv --m 100 --retry-policy exponential",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Measure { retry, .. } => assert_eq!(retry, Some(RetryPolicy::Exponential)),
+            other => panic!("wrong command: {other:?}"),
+        }
+        // A budget alone implies the budgeted policy; alongside a policy
+        // name it configures that policy.
+        let cli = Cli::parse(&argv("compare --data d.csv --m 100 --retry-budget 9")).unwrap();
+        match cli.command {
+            Command::Compare { retry, .. } => {
+                assert_eq!(retry, Some(RetryPolicy::Budgeted { budget_seeks: 9 }));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cli = Cli::parse(&argv(
+            "predict --data d.csv --m 100 --retry-policy budgeted --retry-budget 17",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Predict { retry, .. } => {
+                assert_eq!(retry, Some(RetryPolicy::Budgeted { budget_seeks: 17 }));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(Cli::parse(&argv("predict --data d.csv --m 1 --retry-policy bogus")).is_err());
+        assert!(Cli::parse(&argv("predict --data d.csv --m 1 --retry-budget x")).is_err());
+        // info/generate take no retry flags.
+        assert!(Cli::parse(&argv("info --data d.csv --retry-policy fixed")).is_err());
+    }
+
+    #[test]
+    fn parses_phase_scale() {
+        // Named phases are set, unnamed phases default to 100.
+        let cli = Cli::parse(&argv(
+            "compare --data d.csv --m 100 --fault-phase-scale build:5,predict:300",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Compare {
+                fault_phase_scale, ..
+            } => assert_eq!(fault_phase_scale, Some([5, 100, 300])),
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cli = Cli::parse(&argv(
+            "predict --data d.csv --m 100 --fault-phase-scale query:0",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Predict {
+                fault_phase_scale, ..
+            } => assert_eq!(fault_phase_scale, Some([100, 0, 100])),
+            other => panic!("wrong command: {other:?}"),
+        }
+        let bad = [
+            "measure --data d.csv --m 1 --fault-phase-scale flush:50",
+            "measure --data d.csv --m 1 --fault-phase-scale build",
+            "measure --data d.csv --m 1 --fault-phase-scale build:lots",
+            // info/generate take no phase-scale flag.
+            "info --data d.csv --fault-phase-scale build:50",
+        ];
+        for args in bad {
+            assert!(Cli::parse(&argv(args)).is_err(), "should reject: {args}");
+        }
     }
 
     #[test]

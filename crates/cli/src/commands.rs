@@ -10,7 +10,7 @@ use hdidx_datagen::workload::Workload;
 use hdidx_diskio::external::ExternalConfig;
 use hdidx_diskio::measure::measure_on_disk;
 use hdidx_diskio::DiskModel;
-use hdidx_faults::FaultConfig;
+use hdidx_faults::{FaultConfig, FaultPhase, RetryPolicy};
 use hdidx_model::{hupper, Prediction, QueryBall};
 use hdidx_vamsplit::topology::{PageConfig, Topology};
 use std::fmt::Write as _;
@@ -43,6 +43,8 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             threads,
             fault_seed,
             fault_ppm,
+            retry,
+            fault_phase_scale,
         } => {
             apply_threads(*threads);
             predict(
@@ -55,7 +57,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 *h_upper,
                 *zeta,
                 *seed,
-                resolve_faults(*fault_seed, *fault_ppm),
+                resolve_faults(*fault_seed, *fault_ppm, *retry, *fault_phase_scale),
             )
         }
         Command::Measure {
@@ -68,6 +70,8 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             threads,
             fault_seed,
             fault_ppm,
+            retry,
+            fault_phase_scale,
         } => {
             apply_threads(*threads);
             measure(
@@ -77,7 +81,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 *queries,
                 *k,
                 *seed,
-                resolve_faults(*fault_seed, *fault_ppm),
+                resolve_faults(*fault_seed, *fault_ppm, *retry, *fault_phase_scale),
             )
         }
         Command::Compare {
@@ -90,6 +94,8 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             threads,
             fault_seed,
             fault_ppm,
+            retry,
+            fault_phase_scale,
         } => {
             apply_threads(*threads);
             compare(
@@ -99,7 +105,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 *queries,
                 *k,
                 *seed,
-                resolve_faults(*fault_seed, *fault_ppm),
+                resolve_faults(*fault_seed, *fault_ppm, *retry, *fault_phase_scale),
             )
         }
     }
@@ -108,14 +114,45 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
 /// Resolves the fault-injection configuration: explicit `--fault-seed`
 /// wins (at the default 2000 ppm rate unless `--fault-ppm` overrides it);
 /// otherwise the `HDIDX_FAULT_SEED` / `HDIDX_FAULT_PPM` environment
-/// variables; otherwise no injection.
-fn resolve_faults(fault_seed: Option<u64>, fault_ppm: Option<u32>) -> Option<FaultConfig> {
+/// variables; otherwise no injection. The retry policy follows the same
+/// precedence independently: explicit `--retry-policy` / `--retry-budget`
+/// beat `HDIDX_RETRY_POLICY` / `HDIDX_RETRY_BUDGET`, which beat the fixed
+/// default; `HDIDX_FAULT_BURST_PPM` attaches bursts in either case.
+/// `--fault-phase-scale` then rescales the resolved rates per pipeline
+/// phase (build / query / predict), letting fault pressure be steered at
+/// the predictors' sampled I/O while the build and measurement run clean
+/// (or vice versa).
+fn resolve_faults(
+    fault_seed: Option<u64>,
+    fault_ppm: Option<u32>,
+    retry: Option<RetryPolicy>,
+    fault_phase_scale: Option<[u16; 3]>,
+) -> Option<FaultConfig> {
     let base = match fault_seed {
-        Some(seed) => FaultConfig::disabled(seed).with_rate_ppm(2_000),
+        Some(seed) => {
+            let mut cfg = FaultConfig::disabled(seed)
+                .with_rate_ppm(2_000)
+                .with_burst(FaultConfig::burst_from_env());
+            if let Some(r) = RetryPolicy::from_env() {
+                cfg = cfg.with_retry(r);
+            }
+            cfg
+        }
         None => FaultConfig::from_env()?,
     };
-    Some(match fault_ppm {
+    let base = match fault_ppm {
         Some(ppm) => base.with_rate_ppm(ppm),
+        None => base,
+    };
+    let base = match retry {
+        Some(r) => base.with_retry(r),
+        None => base,
+    };
+    Some(match fault_phase_scale {
+        Some(scale) => FaultPhase::ALL
+            .iter()
+            .zip(scale)
+            .fold(base, |cfg, (&phase, pct)| cfg.with_phase_scale(phase, pct)),
         None => base,
     })
 }
@@ -289,9 +326,12 @@ fn predict(
         let d = &prediction.degraded;
         let _ = writeln!(
             out,
-            "fault degradation: {} leaves on cutoff fallback, {:.1}% coverage",
+            "fault degradation: {} units on fallback, {:.1}% coverage, \
+             {} retries, +{:.3} s backoff",
             d.leaves_degraded,
-            100.0 * d.coverage_fraction
+            100.0 * d.coverage_fraction,
+            prediction.io.retries,
+            prediction.io.backoff as f64 * disk.t_seek_s
         );
     }
     Ok(out)
@@ -377,9 +417,11 @@ fn compare(
         Ok(p) => {
             let degraded = if p.degraded.is_degraded() {
                 format!(
-                    "  [degraded: {} leaves, {:.1}% coverage]",
+                    "  [degraded: {} units, {:.1}% coverage, {} retries, +{:.3} s backoff]",
                     p.degraded.leaves_degraded,
-                    100.0 * p.degraded.coverage_fraction
+                    100.0 * p.degraded.coverage_fraction,
+                    p.io.retries,
+                    p.io.backoff as f64 * disk.t_seek_s
                 )
             } else {
                 String::new()
@@ -514,6 +556,31 @@ mod tests {
             .unwrap();
             assert!(!out.contains("fault degradation"), "{out}");
         }
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn phase_scale_makes_degraded_compare_rows_reachable() {
+        // At a uniform rate the measurement leg (thousands of accesses,
+        // no degradation fallback) always hard-fails before any predictor
+        // degrades. Steering the pressure onto the predict phase is what
+        // makes a degraded row observable in a successful report.
+        let csv = temp_csv("phase_scale.csv");
+        run(&format!(
+            "generate --dataset texture48 --scale 0.2 --out {}",
+            csv.display()
+        ))
+        .unwrap();
+        let out = run(&format!(
+            "compare --data {} --m 200 --queries 10 --k 5 --fault-seed 3 --fault-ppm 150000 \
+             --fault-phase-scale build:5,query:5,predict:300 --retry-policy exponential",
+            csv.display()
+        ))
+        .unwrap();
+        assert!(out.contains("measured"), "{out}");
+        assert!(out.contains("[degraded:"), "{out}");
+        assert!(out.contains("retries"), "{out}");
+        assert!(out.contains("backoff"), "{out}");
         std::fs::remove_file(&csv).ok();
     }
 

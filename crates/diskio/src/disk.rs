@@ -143,6 +143,14 @@ impl Disk {
     /// the completed prefix for a torn one) and lose the head position, so
     /// the retry pays a fresh seek; each retried failure bumps
     /// [`IoStats::retries`].
+    ///
+    /// Retries are paced by the plan's [`hdidx_faults::RetryPolicy`]: its per-retry
+    /// backoff is charged into [`IoStats::backoff`] (seek-equivalents,
+    /// priced at one `t_seek` each by the cost model), and a budgeted
+    /// policy gives up early once the next backoff would overdraw its
+    /// per-access budget. On exhaustion the [`Error::IoFault`] reports the
+    /// attempts *actually made* — which a budget cut-off or a
+    /// `max_attempts = 1` plan makes smaller than the plan-wide maximum.
     fn access_under_plan(
         &mut self,
         plan: &mut FaultPlan,
@@ -151,8 +159,12 @@ impl Disk {
     ) -> Result<()> {
         let access = plan.next_access();
         let max_attempts = plan.max_attempts();
+        let cfg = *plan.config();
+        let mut budget_left = cfg.retry.budget_seeks();
         let mut last_kind = "transient";
+        let mut attempts_made = 0u32;
         for attempt in 0..max_attempts {
+            attempts_made = attempt + 1;
             match plan.attempt(access, attempt, abs_first, n_pages) {
                 FaultOutcome::Success => {
                     self.charge_range(abs_first, n_pages);
@@ -179,16 +191,27 @@ impl Disk {
                     }
                     self.last_page = None;
                     last_kind = outcome.kind().map_or("transient", |k| k.as_str());
-                    if attempt + 1 < max_attempts {
-                        self.stats.retries += 1;
+                    if attempt + 1 >= max_attempts {
+                        break;
                     }
+                    let backoff = cfg.retry.backoff_seeks(cfg.seed, access, attempt);
+                    if let Some(left) = &mut budget_left {
+                        if backoff > *left {
+                            // Budget exhausted: give up with the attempts
+                            // actually made.
+                            break;
+                        }
+                        *left -= backoff;
+                    }
+                    self.stats.backoff += backoff;
+                    self.stats.retries += 1;
                 }
             }
         }
         Err(Error::IoFault {
             kind: last_kind,
             page: abs_first,
-            attempts: max_attempts,
+            attempts: attempts_made,
         })
     }
 
@@ -286,6 +309,7 @@ mod tests {
                 seeks: 1,
                 transfers: 10,
                 retries: 0,
+                backoff: 0,
             }
         );
         // Continuing where the head is: no new seek.
@@ -296,6 +320,7 @@ mod tests {
                 seeks: 1,
                 transfers: 15,
                 retries: 0,
+                backoff: 0,
             }
         );
     }
@@ -312,6 +337,7 @@ mod tests {
                 seeks: 2,
                 transfers: 2,
                 retries: 0,
+                backoff: 0,
             }
         );
         // Jumping backwards also seeks.
@@ -331,6 +357,7 @@ mod tests {
                 seeks: 1,
                 transfers: 1,
                 retries: 0,
+                backoff: 0,
             }
         );
         // Re-access extending past the buffered page: only the new pages.
@@ -341,6 +368,7 @@ mod tests {
                 seeks: 1,
                 transfers: 3,
                 retries: 0,
+                backoff: 0,
             }
         );
     }
@@ -359,6 +387,7 @@ mod tests {
                 seeks: 1,
                 transfers: 11,
                 retries: 0,
+                backoff: 0,
             }
         );
         // But going back to a seeks.
@@ -378,6 +407,7 @@ mod tests {
                 seeks: 1,
                 transfers: 2,
                 retries: 0,
+                backoff: 0,
             }
         );
         assert!(d.access_records(&f, 0, 1, 0).is_err());
@@ -406,6 +436,7 @@ mod tests {
                 seeks: 8,
                 transfers: 11,
                 retries: 0,
+                backoff: 0,
             }
         );
         d.reset_stats();
@@ -441,11 +472,9 @@ mod tests {
     #[test]
     fn transient_fault_burns_a_seek_and_retries() {
         let cfg = FaultConfig {
-            seed: 1,
             transient_ppm: hdidx_faults::PPM_SCALE,
-            torn_ppm: 0,
-            spike_ppm: 0,
             max_attempts: 3,
+            ..FaultConfig::disabled(1)
         };
         let mut d = Disk::new();
         d.set_fault_plan(Some(FaultPlan::new(cfg)));
@@ -467,6 +496,7 @@ mod tests {
                 seeks: 3,
                 transfers: 0,
                 retries: 2,
+                backoff: 0,
             }
         );
         assert_eq!(d.fault_trace().len(), 3);
@@ -475,19 +505,23 @@ mod tests {
     #[test]
     fn torn_fault_charges_the_completed_prefix() {
         let cfg = FaultConfig {
-            seed: 2,
-            transient_ppm: 0,
             torn_ppm: hdidx_faults::PPM_SCALE,
-            spike_ppm: 0,
             max_attempts: 1,
+            ..FaultConfig::disabled(2)
         };
         let mut d = Disk::new();
         d.set_fault_plan(Some(FaultPlan::new(cfg)));
         let f = d.alloc(16).unwrap();
         let err = d.access(&f, 0, 10).unwrap_err();
+        // Regression: a `max_attempts = 1` plan must report the single
+        // attempt actually made, not some plan-wide constant.
         assert!(matches!(
             err,
-            hdidx_core::Error::IoFault { kind: "torn", .. }
+            hdidx_core::Error::IoFault {
+                kind: "torn",
+                attempts: 1,
+                ..
+            }
         ));
         let s = d.stats();
         assert_eq!(s.seeks, 1);
@@ -498,11 +532,8 @@ mod tests {
     #[test]
     fn spike_succeeds_with_extra_seeks() {
         let cfg = FaultConfig {
-            seed: 3,
-            transient_ppm: 0,
-            torn_ppm: 0,
             spike_ppm: hdidx_faults::PPM_SCALE,
-            max_attempts: 4,
+            ..FaultConfig::disabled(3)
         };
         let mut d = Disk::new();
         d.set_fault_plan(Some(FaultPlan::new(cfg)));
@@ -528,6 +559,125 @@ mod tests {
         let s = d.stats();
         assert!(s.transfers >= 200, "all pages transferred: {s:?}");
         assert!(s.retries > 0, "expected some retries at 15 % failure rate");
+        assert_eq!(s.backoff, 0, "the default fixed policy charges nothing");
         assert!(!d.fault_trace().is_empty());
+    }
+
+    use hdidx_faults::RetryPolicy;
+
+    #[test]
+    fn exponential_policy_charges_deterministic_backoff() {
+        let cfg = FaultConfig {
+            transient_ppm: hdidx_faults::PPM_SCALE,
+            max_attempts: 3,
+            retry: RetryPolicy::Exponential,
+            ..FaultConfig::disabled(1)
+        };
+        let run = || {
+            let mut d = Disk::new();
+            d.set_fault_plan(Some(FaultPlan::new(cfg)));
+            let f = d.alloc(8).unwrap();
+            let err = d.access(&f, 0, 4).unwrap_err();
+            assert!(matches!(
+                err,
+                hdidx_core::Error::IoFault { attempts: 3, .. }
+            ));
+            d.stats()
+        };
+        let s = run();
+        // Two retries: backoff in [2^0, 2^1) + [2^1, 2^2) = [3, 6).
+        assert_eq!(s.retries, 2);
+        assert!((3..6).contains(&s.backoff), "backoff {s:?}");
+        assert_eq!(run(), s, "backoff must be a pure function of the seed");
+        // The cost model prices the backoff as seek latency.
+        let quiet = IoStats { backoff: 0, ..s };
+        let model = crate::DiskModel::PAPER;
+        let delta = model.cost_seconds(s) - model.cost_seconds(quiet);
+        assert!((delta - s.backoff as f64 * model.t_seek_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budgeted_policy_stops_early_and_reports_attempts_made() {
+        // Budget 0: the first retry's backoff (≥ 1) already overdraws, so
+        // the access gives up after a single attempt even though the plan
+        // allows four.
+        let cfg = FaultConfig {
+            transient_ppm: hdidx_faults::PPM_SCALE,
+            max_attempts: 4,
+            retry: RetryPolicy::Budgeted { budget_seeks: 0 },
+            ..FaultConfig::disabled(1)
+        };
+        let mut d = Disk::new();
+        d.set_fault_plan(Some(FaultPlan::new(cfg)));
+        let f = d.alloc(8).unwrap();
+        let err = d.access(&f, 0, 4).unwrap_err();
+        assert_eq!(
+            err,
+            hdidx_core::Error::IoFault {
+                kind: "transient",
+                page: 0,
+                attempts: 1,
+            }
+        );
+        let s = d.stats();
+        assert_eq!((s.retries, s.backoff), (0, 0), "no retry fit the budget");
+
+        // A generous budget behaves exactly like the exponential policy.
+        let roomy = FaultConfig {
+            retry: RetryPolicy::Budgeted { budget_seeks: 1000 },
+            ..cfg
+        };
+        let mut d = Disk::new();
+        d.set_fault_plan(Some(FaultPlan::new(roomy)));
+        let f = d.alloc(8).unwrap();
+        let err = d.access(&f, 0, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            hdidx_core::Error::IoFault { attempts: 4, .. }
+        ));
+        assert_eq!(d.stats().retries, 3);
+        assert!(d.stats().backoff >= 3);
+    }
+
+    #[test]
+    fn burst_region_tears_the_overlapping_access() {
+        use hdidx_faults::BurstConfig;
+        // Find a seed/range pair whose range strictly straddles a bad
+        // region, then pin that the access tears at the region edge.
+        let burst = BurstConfig::with_fault_ppm(hdidx_faults::PPM_SCALE);
+        let (seed, first_bad) = (0..20_000u64)
+            .find_map(|seed| {
+                burst
+                    .first_bad_page(seed, 10, 100)
+                    .filter(|&b| b > 10)
+                    .map(|b| (seed, b))
+            })
+            .expect("some seed hosts a region inside pages 10..110");
+        let cfg = FaultConfig {
+            max_attempts: 1,
+            ..FaultConfig::disabled(seed).with_burst(Some(burst))
+        };
+        let mut d = Disk::new();
+        d.set_fault_plan(Some(FaultPlan::new(cfg)));
+        let f = d.alloc(200).unwrap();
+        let err = d.access(&f, 10, 100).unwrap_err();
+        assert!(matches!(
+            err,
+            hdidx_core::Error::IoFault {
+                kind: "torn",
+                attempts: 1,
+                ..
+            }
+        ));
+        // Exactly the prefix before the first bad page transferred.
+        assert_eq!(d.stats().transfers, first_bad - 10);
+        let trace = d.fault_trace();
+        assert_eq!(trace.len(), 1);
+        assert!(trace[0].burst);
+        // An access that avoids every bad region sails through.
+        let clear_page = (0..100u64)
+            .find(|&p| burst.first_bad_page(seed, p, 1).is_none())
+            .expect("some page is clean");
+        d.access(&f, clear_page, 1).unwrap();
     }
 }

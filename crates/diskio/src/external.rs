@@ -25,7 +25,7 @@ use crate::disk::{Disk, FileHandle};
 use crate::model::IoStats;
 use hdidx_core::stats::max_variance_dim;
 use hdidx_core::{Dataset, Error, HyperRect, Result};
-use hdidx_faults::{FaultConfig, FaultEvent, FaultPlan};
+use hdidx_faults::{FaultConfig, FaultEvent, FaultPhase, FaultPlan};
 use hdidx_vamsplit::split::partition_by_rank;
 use hdidx_vamsplit::topology::Topology;
 use hdidx_vamsplit::tree::{Node, NodeKind, RTree};
@@ -145,7 +145,7 @@ pub fn build_on_disk(data: &Dataset, topo: &Topology, cfg: &ExternalConfig) -> R
     let data_pages = (n as u64).div_ceil(recs_per_page);
     let mut disk = Disk::new();
     if let Some(fcfg) = cfg.faults {
-        disk.set_fault_plan(Some(FaultPlan::new(fcfg)));
+        disk.set_fault_plan(Some(FaultPlan::new(fcfg.for_phase(FaultPhase::Build))));
     }
     let file = disk.alloc(data_pages)?;
     // Output region for finished index pages (generously sized; only the

@@ -7,7 +7,7 @@ use crate::disk::Disk;
 use crate::external::{build_on_disk, ExternalConfig};
 use crate::model::IoStats;
 use hdidx_core::{Dataset, Result};
-use hdidx_faults::{FaultEvent, FaultPlan};
+use hdidx_faults::{FaultEvent, FaultPhase, FaultPlan};
 use hdidx_vamsplit::query::knn;
 use hdidx_vamsplit::topology::Topology;
 use hdidx_vamsplit::tree::RTree;
@@ -91,7 +91,7 @@ pub fn measure_on_disk(
             // the plan injects faults and the retry accounting of
             // `Disk::access` applies unchanged.
             let mut qdisk = Disk::new();
-            qdisk.set_fault_plan(Some(FaultPlan::new(fcfg.derived(1))));
+            qdisk.set_fault_plan(Some(FaultPlan::new(fcfg.for_phase(FaultPhase::Query))));
             let qfile = qdisk.alloc(4)?;
             let mut flip = 0u64;
             for c in centers {

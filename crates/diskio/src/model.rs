@@ -15,6 +15,13 @@ pub struct IoStats {
     /// the failed attempts burned are already charged to the counters
     /// above, so `retries` is diagnostic, not an additional cost term.
     pub retries: u64,
+    /// Retry backoff charged by the disk's [`RetryPolicy`], in
+    /// **seek-equivalents** — each unit costs one `t_seek` under
+    /// [`DiskModel::cost_seconds`]. Always zero on a fault-free disk and
+    /// under the default fixed (immediate-retry) policy.
+    ///
+    /// [`RetryPolicy`]: hdidx_faults::RetryPolicy
+    pub backoff: u64,
 }
 
 impl IoStats {
@@ -25,6 +32,7 @@ impl IoStats {
             seeks: 1,
             transfers: pages,
             retries: 0,
+            backoff: 0,
         }
     }
 
@@ -35,6 +43,7 @@ impl IoStats {
             seeks: n,
             transfers: n,
             retries: 0,
+            backoff: 0,
         }
     }
 }
@@ -42,13 +51,17 @@ impl IoStats {
 /// The canonical human-readable rendering, used by the CLI and the bench
 /// binaries instead of hand-formatting the counters:
 /// `"<seeks> seeks, <transfers> page transfers"`, with
-/// `", <retries> retries"` appended only when retries occurred so
-/// fault-free output is unchanged.
+/// `", <retries> retries"` and `", <backoff> backoff seek-equivalents"`
+/// appended only when those counters are nonzero so fault-free output is
+/// unchanged.
 impl fmt::Display for IoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} seeks, {} page transfers", self.seeks, self.transfers)?;
         if self.retries > 0 {
             write!(f, ", {} retries", self.retries)?;
+        }
+        if self.backoff > 0 {
+            write!(f, ", {} backoff seek-equivalents", self.backoff)?;
         }
         Ok(())
     }
@@ -61,6 +74,7 @@ impl Add for IoStats {
             seeks: self.seeks + rhs.seeks,
             transfers: self.transfers + rhs.transfers,
             retries: self.retries + rhs.retries,
+            backoff: self.backoff + rhs.backoff,
         }
     }
 }
@@ -70,6 +84,7 @@ impl AddAssign for IoStats {
         self.seeks += rhs.seeks;
         self.transfers += rhs.transfers;
         self.retries += rhs.retries;
+        self.backoff += rhs.backoff;
     }
 }
 
@@ -84,7 +99,7 @@ impl AddAssign for IoStats {
 ///
 /// let disk = DiskModel::PAPER; // 10 ms seek, 20 MB/s, 8 KB pages
 /// assert!((disk.t_xfer_s() - 0.4096e-3).abs() < 1e-9);
-/// let io = IoStats { seeks: 100, transfers: 1000, retries: 0, };
+/// let io = IoStats { seeks: 100, transfers: 1000, retries: 0, backoff: 0, };
 /// assert!((disk.cost_seconds(io) - (1.0 + 0.4096)).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -119,9 +134,10 @@ impl DiskModel {
     }
 
     /// Converts counters to seconds:
-    /// `seeks * t_seek + transfers * t_xfer`.
+    /// `(seeks + backoff) * t_seek + transfers * t_xfer` — retry backoff
+    /// is real latency and is priced like the seeks it stands in for.
     pub fn cost_seconds(&self, io: IoStats) -> f64 {
-        io.seeks as f64 * self.t_seek_s + io.transfers as f64 * self.t_xfer_s()
+        (io.seeks + io.backoff) as f64 * self.t_seek_s + io.transfers as f64 * self.t_xfer_s()
     }
 }
 
@@ -142,9 +158,34 @@ mod tests {
             seeks: 100,
             transfers: 1000,
             retries: 0,
+            backoff: 0,
         };
         let expect = 100.0 * 0.010 + 1000.0 * 8192.0 / 20.0e6;
         assert!((m.cost_seconds(io) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backoff_is_priced_as_seek_latency() {
+        let m = DiskModel::PAPER;
+        let quiet = IoStats {
+            seeks: 10,
+            transfers: 100,
+            retries: 0,
+            backoff: 0,
+        };
+        let backed_off = IoStats {
+            backoff: 7,
+            retries: 3,
+            ..quiet
+        };
+        let delta = m.cost_seconds(backed_off) - m.cost_seconds(quiet);
+        assert!((delta - 7.0 * m.t_seek_s).abs() < 1e-12);
+        // Retries alone stay diagnostic: no cost term of their own.
+        let retried = IoStats {
+            retries: 5,
+            ..quiet
+        };
+        assert!((m.cost_seconds(retried) - m.cost_seconds(quiet)).abs() < 1e-15);
     }
 
     #[test]
@@ -159,8 +200,18 @@ mod tests {
             seeks: 3,
             transfers: 42,
             retries: 0,
+            backoff: 0,
         };
         assert_eq!(io.to_string(), "3 seeks, 42 page transfers");
+        let noisy = IoStats {
+            retries: 2,
+            backoff: 5,
+            ..io
+        };
+        assert_eq!(
+            noisy.to_string(),
+            "3 seeks, 42 page transfers, 2 retries, 5 backoff seek-equivalents"
+        );
     }
 
     #[test]
@@ -173,6 +224,7 @@ mod tests {
                 seeks: 6,
                 transfers: 15,
                 retries: 0,
+                backoff: 0,
             }
         );
         let b = a + IoStats::default();

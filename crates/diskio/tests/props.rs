@@ -74,6 +74,7 @@ fn one_sequential_pass_costs_exactly_one_seek() {
                     seeks: 1,
                     transfers: total,
                     retries: 0,
+                    backoff: 0,
                 }
             );
             Verdict::Pass
@@ -93,11 +94,13 @@ fn charge_is_additive() {
                 seeks,
                 transfers,
                 retries: 0,
+                backoff: 0,
             });
             disk.charge(IoStats {
                 seeks,
                 transfers,
                 retries: 0,
+                backoff: 0,
             });
             prop_assert_eq!(
                 disk.stats(),
@@ -105,6 +108,7 @@ fn charge_is_additive() {
                     seeks: 2 * seeks,
                     transfers: 2 * transfers,
                     retries: 0,
+                    backoff: 0,
                 }
             );
             Verdict::Pass
@@ -138,6 +142,7 @@ fn record_access_covers_exactly_the_spanned_pages() {
                     seeks: 1,
                     transfers: last_page - first_page + 1,
                     retries: 0,
+                    backoff: 0,
                 }
             );
             Verdict::Pass

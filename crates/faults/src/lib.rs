@@ -38,6 +38,36 @@
 //! Rates are expressed in **parts per million** so the configuration stays
 //! `Copy + Eq + Hash`-able and embeddable in the `Copy` parameter structs
 //! of the predictors.
+//!
+//! ## Correlated bursts
+//!
+//! Real disks fail in correlated regions (a scratched track, a dying
+//! head), not only as independent point events. [`BurstConfig`] overlays a
+//! seeded **bad-region layout** on the page space: the space is divided
+//! into fixed windows and each window hosts at most one bad region whose
+//! existence, length and offset are pure functions of `(seed, window)`.
+//! An access overlapping a bad region suffers an *additional* per-attempt
+//! fault probability, drawn on a stream independent of the point-fault
+//! draw so enabling bursts never clears a point fault and monotonicity in
+//! the rates survives.
+//!
+//! ## Retry pacing
+//!
+//! [`RetryPolicy`] decides how a consumer paces retries: `fixed` retries
+//! immediately (charging nothing), `exponential` charges `2^attempt` plus
+//! deterministic jitter in seek-equivalents per retry, and `budgeted`
+//! follows the exponential schedule but gives up once a per-access backoff
+//! budget is exhausted. The backoff is charged into `IoStats::backoff` by
+//! the simulated disk and priced at one `t_seek` each by the cost model.
+//!
+//! ## Phases
+//!
+//! One user-facing fault seed drives several pipeline phases (external
+//! build, measurement queries, predictor-simulated I/O). Instead of ad-hoc
+//! seed derivation at every call site, [`FaultConfig::for_phase`] derives
+//! a per-[`FaultPhase`] seed and applies the configuration's per-phase
+//! percentage scaling, so the phases run decorrelated and can run under
+//! different pressure.
 
 use hdidx_rand::splitmix::derive_seed;
 
@@ -54,6 +84,39 @@ pub const ENV_FAULT_SEED: &str = "HDIDX_FAULT_SEED";
 /// Environment variable scaling the fault rates (parts per million applied
 /// to transient faults; torn/spike run at half that). Optional.
 pub const ENV_FAULT_PPM: &str = "HDIDX_FAULT_PPM";
+
+/// Environment variable enabling the correlated burst model: its value is
+/// the per-attempt fault probability (ppm) for accesses overlapping a bad
+/// region, with the default region geometry. Optional.
+pub const ENV_FAULT_BURST_PPM: &str = "HDIDX_FAULT_BURST_PPM";
+
+/// Environment variable selecting the retry/backoff policy by name
+/// (`fixed` | `exponential` | `budgeted`). Optional.
+pub const ENV_RETRY_POLICY: &str = "HDIDX_RETRY_POLICY";
+
+/// Environment variable setting the per-access backoff budget in
+/// seek-equivalents. Implies the budgeted policy when `HDIDX_RETRY_POLICY`
+/// is unset. Optional.
+pub const ENV_RETRY_BUDGET: &str = "HDIDX_RETRY_BUDGET";
+
+/// Default per-access backoff budget (seek-equivalents) of
+/// [`RetryPolicy::Budgeted`] when no explicit budget is given.
+pub const DEFAULT_RETRY_BUDGET: u32 = 64;
+
+/// Derivation stream of the bad-region layout (distinct from every
+/// per-attempt stream so the layout is shared by all attempts).
+const BURST_LAYOUT_STREAM: u64 = 0xB5;
+
+/// Derivation stream of the per-attempt burst-fault draw (distinct from
+/// the point-fault draw so bursts compose monotonically with point rates).
+const BURST_DRAW_STREAM: u64 = 5;
+
+/// Derivation stream of the backoff jitter.
+const BACKOFF_STREAM: u64 = 6;
+
+/// Base stream of the per-phase seed derivation in
+/// [`FaultConfig::for_phase`].
+const PHASE_STREAM_BASE: u64 = 0xFA5E;
 
 /// The kind of an injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,6 +147,222 @@ impl std::fmt::Display for FaultKind {
     }
 }
 
+/// How a consumer paces and bounds retries after failed attempts.
+///
+/// Backoff is measured in **seek-equivalents**: the simulated disk
+/// accumulates it into `IoStats::backoff` and the cost model prices each
+/// unit at one `t_seek`, so retry pressure visibly bends the paper's cost
+/// curves instead of hiding inside a wall-clock sleep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RetryPolicy {
+    /// Immediate retries, no backoff charged (the historical behaviour,
+    /// and the default — existing pinned traces stay byte-identical).
+    #[default]
+    Fixed,
+    /// Exponential backoff with deterministic jitter: the retry after
+    /// attempt `a` charges `2^a + jitter` seek-equivalents with
+    /// `jitter ∈ [0, 2^a)` derived from `(seed, access, attempt)`.
+    Exponential,
+    /// The exponential schedule bounded by a per-access budget: once the
+    /// next backoff would overdraw the remaining budget, the access gives
+    /// up early and reports the attempts actually made.
+    Budgeted {
+        /// Per-access backoff budget in seek-equivalents.
+        budget_seeks: u32,
+    },
+}
+
+impl RetryPolicy {
+    /// Parses a policy by name (`fixed` | `exponential` | `budgeted`).
+    /// `budget` overrides the budgeted policy's default budget and is
+    /// ignored by the other policies.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown names.
+    pub fn parse(name: &str, budget: Option<u32>) -> std::result::Result<RetryPolicy, String> {
+        match name {
+            "fixed" => Ok(RetryPolicy::Fixed),
+            "exponential" => Ok(RetryPolicy::Exponential),
+            "budgeted" => Ok(RetryPolicy::Budgeted {
+                budget_seeks: budget.unwrap_or(DEFAULT_RETRY_BUDGET),
+            }),
+            other => Err(format!(
+                "unknown retry policy '{other}' (expected fixed, exponential or budgeted)"
+            )),
+        }
+    }
+
+    /// Reads `HDIDX_RETRY_POLICY` / `HDIDX_RETRY_BUDGET`: a policy name
+    /// selects the policy (an unparsable name is ignored), a budget alone
+    /// implies the budgeted policy, neither yields `None`.
+    #[must_use]
+    pub fn from_env() -> Option<RetryPolicy> {
+        let budget: Option<u32> = std::env::var(ENV_RETRY_BUDGET)
+            .ok()
+            .and_then(|v| v.trim().parse().ok());
+        match std::env::var(ENV_RETRY_POLICY) {
+            Ok(name) => RetryPolicy::parse(name.trim(), budget).ok(),
+            Err(_) => budget.map(|budget_seeks| RetryPolicy::Budgeted { budget_seeks }),
+        }
+    }
+
+    /// Seek-equivalents charged for the retry following attempt `attempt`
+    /// of access `access`. A pure function of `(seed, access, attempt)` —
+    /// the same determinism contract as the fault decisions themselves.
+    #[must_use]
+    pub fn backoff_seeks(&self, seed: u64, access: u64, attempt: u32) -> u64 {
+        match self {
+            RetryPolicy::Fixed => 0,
+            RetryPolicy::Exponential | RetryPolicy::Budgeted { .. } => {
+                let base = 1u64 << attempt.min(16);
+                let h = derive_seed(derive_seed(seed, access), u64::from(attempt));
+                base + derive_seed(h, BACKOFF_STREAM) % base
+            }
+        }
+    }
+
+    /// The per-access backoff budget, if this policy has one.
+    #[must_use]
+    pub fn budget_seeks(&self) -> Option<u64> {
+        match self {
+            RetryPolicy::Budgeted { budget_seeks } => Some(u64::from(*budget_seeks)),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case name, matching [`RetryPolicy::parse`].
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RetryPolicy::Fixed => "fixed",
+            RetryPolicy::Exponential => "exponential",
+            RetryPolicy::Budgeted { .. } => "budgeted",
+        }
+    }
+}
+
+impl std::fmt::Display for RetryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Correlated-fault burst model: a deterministic bad-region layout over
+/// the page space.
+///
+/// The page space is divided into fixed windows of `window_pages`; each
+/// window independently hosts at most one bad region (probability
+/// `region_ppm`) whose length (`1..=max_region_pages`) and offset are
+/// derived from the window ordinal, so the layout is a pure function of
+/// `(seed, window)` with no state to race on. An access overlapping a bad
+/// region suffers an additional `fault_ppm` per-attempt fault probability:
+/// torn just before the first bad page when the range permits, transient
+/// otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BurstConfig {
+    /// Size of the layout windows in pages.
+    pub window_pages: u64,
+    /// Probability (ppm) that a window hosts a bad region.
+    pub region_ppm: u32,
+    /// Longest possible bad region in pages (clamped to the window).
+    pub max_region_pages: u64,
+    /// Per-attempt fault probability (ppm) for accesses overlapping a bad
+    /// region, on top of the point rates.
+    pub fault_ppm: u32,
+}
+
+impl BurstConfig {
+    /// Default window size: 256 pages (2 MB at 8 KB pages).
+    pub const DEFAULT_WINDOW_PAGES: u64 = 256;
+    /// Default bad-window density: 2 % of windows host a region.
+    pub const DEFAULT_REGION_PPM: u32 = 20_000;
+    /// Default longest region: 32 pages.
+    pub const DEFAULT_MAX_REGION_PAGES: u64 = 32;
+
+    /// The default geometry at the given per-attempt fault probability
+    /// (what `HDIDX_FAULT_BURST_PPM` installs).
+    #[must_use]
+    pub fn with_fault_ppm(fault_ppm: u32) -> BurstConfig {
+        BurstConfig {
+            window_pages: Self::DEFAULT_WINDOW_PAGES,
+            region_ppm: Self::DEFAULT_REGION_PPM,
+            max_region_pages: Self::DEFAULT_MAX_REGION_PAGES,
+            fault_ppm: fault_ppm.min(PPM_SCALE),
+        }
+    }
+
+    /// Whether this model can ever fire.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.fault_ppm == 0 || self.region_ppm == 0 || self.window_pages == 0
+    }
+
+    /// The bad region hosted by window `window` under `seed`, as an
+    /// absolute `(first_page, n_pages)` range. A pure function of
+    /// `(seed, window)`; the region never crosses the window boundary.
+    #[must_use]
+    pub fn region_in_window(&self, seed: u64, window: u64) -> Option<(u64, u64)> {
+        if self.region_ppm == 0 || self.window_pages == 0 {
+            return None;
+        }
+        let h = derive_seed(derive_seed(seed, BURST_LAYOUT_STREAM), window);
+        if (h % u64::from(PPM_SCALE)) as u32 >= self.region_ppm {
+            return None;
+        }
+        let max_len = self.max_region_pages.clamp(1, self.window_pages);
+        let len = 1 + derive_seed(h, 1) % max_len;
+        let offset = derive_seed(h, 2) % (self.window_pages - len + 1);
+        Some((window * self.window_pages + offset, len))
+    }
+
+    /// The first bad page intersecting `page..page + n_pages`, if any.
+    #[must_use]
+    pub fn first_bad_page(&self, seed: u64, page: u64, n_pages: u64) -> Option<u64> {
+        if n_pages == 0 || self.region_ppm == 0 || self.window_pages == 0 {
+            return None;
+        }
+        let last = page + n_pages - 1;
+        // A window's region stays inside the window, so only windows
+        // overlapping the range can contribute.
+        for w in (page / self.window_pages)..=(last / self.window_pages) {
+            if let Some((start, len)) = self.region_in_window(seed, w) {
+                if start <= last && start + len > page {
+                    return Some(start.max(page));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The pipeline phase an access belongs to, for per-phase fault-rate
+/// overrides (see [`FaultConfig::for_phase`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPhase {
+    /// External (on-disk) index construction.
+    Build,
+    /// Measurement-time query execution.
+    Query,
+    /// Predictor-simulated I/O (scans, resampling, lower-tree builds).
+    Predict,
+}
+
+impl FaultPhase {
+    /// Every phase, in `phase_scale_pct` index order.
+    pub const ALL: [FaultPhase; 3] = [FaultPhase::Build, FaultPhase::Query, FaultPhase::Predict];
+
+    /// Stable lower-case name.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultPhase::Build => "build",
+            FaultPhase::Query => "query",
+            FaultPhase::Predict => "predict",
+        }
+    }
+}
+
 /// Seeded fault-injection configuration. All-integer so it stays
 /// `Copy + Eq + Hash` and can ride inside the `Copy` parameter structs of
 /// the predictors (`ExternalConfig`, `ResampledParams`-adjacent wiring).
@@ -101,6 +380,15 @@ pub struct FaultConfig {
     /// Bound on attempts per access (first try + retries); clamped to
     /// at least 1 by [`FaultPlan`].
     pub max_attempts: u32,
+    /// Correlated burst model layered on top of the point rates (`None`
+    /// disables bursts).
+    pub burst: Option<BurstConfig>,
+    /// Per-phase percentage scaling of all rates, indexed in
+    /// [`FaultPhase::ALL`] order (`[build, query, predict]`; 100 leaves a
+    /// phase unscaled). Applied by [`FaultConfig::for_phase`].
+    pub phase_scale_pct: [u16; 3],
+    /// How consumers pace and bound retries of failed accesses.
+    pub retry: RetryPolicy,
 }
 
 impl FaultConfig {
@@ -115,6 +403,9 @@ impl FaultConfig {
             torn_ppm: 0,
             spike_ppm: 0,
             max_attempts: DEFAULT_MAX_ATTEMPTS,
+            burst: None,
+            phase_scale_pct: [100; 3],
+            retry: RetryPolicy::Fixed,
         }
     }
 
@@ -124,11 +415,10 @@ impl FaultConfig {
     #[must_use]
     pub fn chaos(seed: u64) -> FaultConfig {
         FaultConfig {
-            seed,
             transient_ppm: 30_000,
             torn_ppm: 20_000,
             spike_ppm: 20_000,
-            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            ..FaultConfig::disabled(seed)
         }
     }
 
@@ -156,7 +446,67 @@ impl FaultConfig {
             .ok()
             .and_then(|v| v.trim().parse().ok())
             .unwrap_or(2_000);
-        Some(FaultConfig::disabled(seed).with_rate_ppm(ppm))
+        let mut cfg = FaultConfig::disabled(seed)
+            .with_rate_ppm(ppm)
+            .with_burst(Self::burst_from_env());
+        if let Some(retry) = RetryPolicy::from_env() {
+            cfg.retry = retry;
+        }
+        Some(cfg)
+    }
+
+    /// Reads `HDIDX_FAULT_BURST_PPM`: a parsable value installs the default
+    /// burst geometry at that per-attempt fault probability.
+    #[must_use]
+    pub fn burst_from_env() -> Option<BurstConfig> {
+        let ppm: u32 = std::env::var(ENV_FAULT_BURST_PPM)
+            .ok()?
+            .trim()
+            .parse()
+            .ok()?;
+        Some(BurstConfig::with_fault_ppm(ppm))
+    }
+
+    /// Attaches (or clears) the correlated burst model.
+    #[must_use]
+    pub fn with_burst(mut self, burst: Option<BurstConfig>) -> FaultConfig {
+        self.burst = burst;
+        self
+    }
+
+    /// Selects the retry/backoff policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> FaultConfig {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets one phase's percentage scaling (100 = unscaled; 0 silences the
+    /// phase entirely).
+    #[must_use]
+    pub fn with_phase_scale(mut self, phase: FaultPhase, pct: u16) -> FaultConfig {
+        self.phase_scale_pct[phase as usize] = pct;
+        self
+    }
+
+    /// Specializes this configuration for one pipeline phase: the seed is
+    /// derived per phase (decorrelating the phases' fault streams and
+    /// bad-region layouts — each phase simulates its own disk, hence its
+    /// own page space) and every rate, including the burst fault rate, is
+    /// scaled by the phase's percentage. The retry policy and region
+    /// geometry are phase-independent.
+    #[must_use]
+    pub fn for_phase(mut self, phase: FaultPhase) -> FaultConfig {
+        let pct = u64::from(self.phase_scale_pct[phase as usize]);
+        let scale = |ppm: u32| (u64::from(ppm) * pct / 100).min(u64::from(PPM_SCALE)) as u32;
+        self.seed = derive_seed(self.seed, PHASE_STREAM_BASE + phase as u64);
+        self.transient_ppm = scale(self.transient_ppm);
+        self.torn_ppm = scale(self.torn_ppm);
+        self.spike_ppm = scale(self.spike_ppm);
+        if let Some(b) = &mut self.burst {
+            b.fault_ppm = scale(b.fault_ppm);
+        }
+        self
     }
 
     /// A copy of this configuration whose seed is the `stream`-th derived
@@ -172,7 +522,10 @@ impl FaultConfig {
     /// Whether this configuration can ever inject anything.
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        self.transient_ppm == 0 && self.torn_ppm == 0 && self.spike_ppm == 0
+        self.transient_ppm == 0
+            && self.torn_ppm == 0
+            && self.spike_ppm == 0
+            && self.burst.as_ref().is_none_or(BurstConfig::is_zero)
     }
 }
 
@@ -193,6 +546,8 @@ pub struct FaultEvent {
     pub completed_pages: u64,
     /// Extra seek-equivalents charged (latency spikes; 0 otherwise).
     pub extra_seeks: u64,
+    /// Whether the burst model (rather than a point rate) injected this.
+    pub burst: bool,
 }
 
 /// Outcome of one access attempt under a plan.
@@ -295,6 +650,7 @@ impl FaultPlan {
             .transient_ppm
             .saturating_add(self.cfg.torn_ppm)
             .min(PPM_SCALE);
+        let mut burst = false;
         let outcome = if draw < fail_ppm {
             // Torn faults need at least two pages to tear between.
             if draw >= self.cfg.transient_ppm && n_pages >= 2 {
@@ -305,6 +661,9 @@ impl FaultPlan {
             } else {
                 FaultOutcome::Transient
             }
+        } else if let Some(outcome) = self.burst_fault(h, page, n_pages) {
+            burst = true;
+            outcome
         } else {
             let spike_draw = (derive_seed(h, 2) % u64::from(PPM_SCALE)) as u32;
             if spike_draw < self.cfg.spike_ppm {
@@ -329,9 +688,35 @@ impl FaultPlan {
                 kind,
                 completed_pages,
                 extra_seeks,
+                burst,
             });
         }
         outcome
+    }
+
+    /// The correlated-burst decision for this attempt: fires only when the
+    /// range overlaps a bad region, with probability `fault_ppm` drawn on
+    /// a stream independent of the point-fault draw (so enabling bursts
+    /// never clears a point fault and the rate-monotonicity contract
+    /// survives). Torn just before the first bad page when the range
+    /// permits, transient otherwise.
+    fn burst_fault(&self, h: u64, page: u64, n_pages: u64) -> Option<FaultOutcome> {
+        let b = self.cfg.burst?;
+        if b.is_zero() {
+            return None;
+        }
+        let first_bad = b.first_bad_page(self.cfg.seed, page, n_pages)?;
+        let draw = (derive_seed(h, BURST_DRAW_STREAM) % u64::from(PPM_SCALE)) as u32;
+        if draw >= b.fault_ppm {
+            return None;
+        }
+        if first_bad > page && n_pages >= 2 {
+            Some(FaultOutcome::Torn {
+                completed_pages: first_bad - page,
+            })
+        } else {
+            Some(FaultOutcome::Transient)
+        }
     }
 
     /// Everything injected so far, in decision order.
@@ -430,11 +815,9 @@ mod tests {
     #[test]
     fn torn_needs_two_pages_and_tears_inside_the_range() {
         let cfg = FaultConfig {
-            seed: 3,
-            transient_ppm: 0,
             torn_ppm: PPM_SCALE, // always torn (when possible)
-            spike_ppm: 0,
             max_attempts: 1,
+            ..FaultConfig::disabled(3)
         };
         let mut plan = FaultPlan::new(cfg);
         let a = plan.next_access();
@@ -454,11 +837,9 @@ mod tests {
     #[test]
     fn spikes_charge_but_do_not_fail() {
         let cfg = FaultConfig {
-            seed: 5,
-            transient_ppm: 0,
-            torn_ppm: 0,
             spike_ppm: PPM_SCALE,
             max_attempts: 1,
+            ..FaultConfig::disabled(5)
         };
         let mut plan = FaultPlan::new(cfg);
         let a = plan.next_access();
@@ -499,5 +880,173 @@ mod tests {
         assert_eq!(FaultKind::Transient.as_str(), "transient");
         assert_eq!(FaultKind::Torn.as_str(), "torn");
         assert_eq!(FaultKind::LatencySpike.to_string(), "latency-spike");
+    }
+
+    #[test]
+    fn burst_regions_are_deterministic_and_in_bounds() {
+        let b = BurstConfig::with_fault_ppm(500_000);
+        let mut hosted = 0usize;
+        for window in 0..4_000u64 {
+            let r1 = b.region_in_window(11, window);
+            let r2 = b.region_in_window(11, window);
+            assert_eq!(r1, r2, "layout must be a pure function of (seed, window)");
+            if let Some((start, len)) = r1 {
+                hosted += 1;
+                assert!(len >= 1 && len <= b.max_region_pages);
+                assert!(start >= window * b.window_pages);
+                assert!(start + len <= (window + 1) * b.window_pages);
+            }
+        }
+        // 2 % of 4000 windows ≈ 80 regions; allow generous slack.
+        assert!((20..200).contains(&hosted), "hosted {hosted} regions");
+        // A different seed yields a different layout.
+        let other: Vec<_> = (0..4_000u64).map(|w| b.region_in_window(12, w)).collect();
+        let this: Vec<_> = (0..4_000u64).map(|w| b.region_in_window(11, w)).collect();
+        assert_ne!(this, other);
+    }
+
+    #[test]
+    fn burst_faults_fire_only_inside_declared_regions() {
+        // Certain-fire burst rate, zero point rates: an access fails iff it
+        // overlaps a bad region, and torn tears exactly at the first bad
+        // page.
+        let burst = BurstConfig::with_fault_ppm(PPM_SCALE);
+        let cfg = FaultConfig::disabled(17).with_burst(Some(burst));
+        let mut plan = FaultPlan::new(cfg);
+        let mut fired = 0usize;
+        for a in 0..3_000u64 {
+            let page = (a * 37) % 200_000;
+            let n_pages = 1 + a % 16;
+            let access = plan.next_access();
+            let out = plan.attempt(access, 0, page, n_pages);
+            match burst.first_bad_page(cfg.seed, page, n_pages) {
+                None => assert_eq!(out, FaultOutcome::Success, "fault outside regions"),
+                Some(first_bad) => {
+                    fired += 1;
+                    if first_bad > page && n_pages >= 2 {
+                        assert_eq!(
+                            out,
+                            FaultOutcome::Torn {
+                                completed_pages: first_bad - page
+                            }
+                        );
+                    } else {
+                        assert_eq!(out, FaultOutcome::Transient);
+                    }
+                }
+            }
+        }
+        assert!(fired > 0, "sweep must cross at least one bad region");
+        assert!(plan.trace().iter().all(|e| e.burst));
+    }
+
+    #[test]
+    fn burst_fault_set_is_monotone_in_the_rate() {
+        let lo = FaultConfig::disabled(9).with_burst(Some(BurstConfig::with_fault_ppm(100_000)));
+        let hi = FaultConfig::disabled(9).with_burst(Some(BurstConfig::with_fault_ppm(800_000)));
+        let mut plan_lo = FaultPlan::new(lo);
+        let mut plan_hi = FaultPlan::new(hi);
+        for a in 0..5_000u64 {
+            let out_lo = plan_lo.attempt(a, 0, a * 8, 8);
+            let out_hi = plan_hi.attempt(a, 0, a * 8, 8);
+            if out_lo.is_failure() {
+                assert!(out_hi.is_failure(), "burst fault at {a} vanished");
+            }
+        }
+    }
+
+    #[test]
+    fn phase_override_scales_rates_and_decorrelates_seeds() {
+        let cfg = FaultConfig::disabled(5)
+            .with_rate_ppm(10_000)
+            .with_burst(Some(BurstConfig::with_fault_ppm(40_000)))
+            .with_phase_scale(FaultPhase::Build, 50)
+            .with_phase_scale(FaultPhase::Query, 200)
+            .with_phase_scale(FaultPhase::Predict, 0);
+        let build = cfg.for_phase(FaultPhase::Build);
+        assert_eq!(build.transient_ppm, 5_000);
+        assert_eq!(build.torn_ppm, 2_500);
+        assert_eq!(build.burst.unwrap().fault_ppm, 20_000);
+        let query = cfg.for_phase(FaultPhase::Query);
+        assert_eq!(query.transient_ppm, 20_000);
+        let predict = cfg.for_phase(FaultPhase::Predict);
+        assert!(predict.is_zero(), "0 % scaling silences the phase");
+        assert_ne!(build.seed, query.seed);
+        assert_ne!(build.seed, cfg.seed);
+        // Scaling clamps at certainty.
+        let hot = FaultConfig::disabled(1)
+            .with_rate_ppm(900_000)
+            .with_phase_scale(FaultPhase::Build, 300)
+            .for_phase(FaultPhase::Build);
+        assert_eq!(hot.transient_ppm, PPM_SCALE);
+        // The geometry and retry policy are phase-independent.
+        assert_eq!(
+            build.burst.unwrap().window_pages,
+            BurstConfig::DEFAULT_WINDOW_PAGES
+        );
+        assert_eq!(build.retry, cfg.retry);
+    }
+
+    #[test]
+    fn retry_policy_parse_backoff_and_names() {
+        assert_eq!(RetryPolicy::parse("fixed", None), Ok(RetryPolicy::Fixed));
+        assert_eq!(
+            RetryPolicy::parse("exponential", Some(9)),
+            Ok(RetryPolicy::Exponential)
+        );
+        assert_eq!(
+            RetryPolicy::parse("budgeted", Some(9)),
+            Ok(RetryPolicy::Budgeted { budget_seeks: 9 })
+        );
+        assert_eq!(
+            RetryPolicy::parse("budgeted", None),
+            Ok(RetryPolicy::Budgeted {
+                budget_seeks: DEFAULT_RETRY_BUDGET
+            })
+        );
+        assert!(RetryPolicy::parse("eventually", None).is_err());
+        assert_eq!(RetryPolicy::Fixed.to_string(), "fixed");
+        assert_eq!(
+            RetryPolicy::Budgeted { budget_seeks: 1 }.as_str(),
+            "budgeted"
+        );
+
+        // Fixed charges nothing; the exponential schedule is deterministic
+        // and stays within [2^a, 2^(a+1)).
+        assert_eq!(RetryPolicy::Fixed.backoff_seeks(1, 2, 3), 0);
+        for attempt in 0..8u32 {
+            let b1 = RetryPolicy::Exponential.backoff_seeks(42, 7, attempt);
+            let b2 = RetryPolicy::Exponential.backoff_seeks(42, 7, attempt);
+            assert_eq!(b1, b2);
+            let base = 1u64 << attempt;
+            assert!((base..2 * base).contains(&b1), "attempt {attempt}: {b1}");
+            // Budgeted follows the same schedule; only the stopping rule
+            // differs.
+            assert_eq!(
+                RetryPolicy::Budgeted { budget_seeks: 5 }.backoff_seeks(42, 7, attempt),
+                b1
+            );
+        }
+        assert_eq!(RetryPolicy::Fixed.budget_seeks(), None);
+        assert_eq!(
+            RetryPolicy::Budgeted { budget_seeks: 7 }.budget_seeks(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn zero_burst_and_zero_scale_count_as_zero() {
+        assert!(FaultConfig::disabled(0)
+            .with_burst(Some(BurstConfig::with_fault_ppm(0)))
+            .is_zero());
+        assert!(!FaultConfig::disabled(0)
+            .with_burst(Some(BurstConfig::with_fault_ppm(1)))
+            .is_zero());
+        let b = BurstConfig {
+            region_ppm: 0,
+            ..BurstConfig::with_fault_ppm(1_000)
+        };
+        assert!(b.is_zero());
+        assert_eq!(b.first_bad_page(1, 0, 1_000_000), None);
     }
 }

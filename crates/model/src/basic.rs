@@ -9,10 +9,12 @@
 
 use crate::compensation::growth_factor;
 use crate::predictor::Predictor;
+use crate::scan::faulted_scan;
 use crate::{Prediction, QueryBall};
 use hdidx_core::rng::{bernoulli_sample, seeded};
 use hdidx_core::{Dataset, Error, Result};
 use hdidx_diskio::IoStats;
+use hdidx_faults::FaultConfig;
 use hdidx_pool::Pool;
 use hdidx_vamsplit::bulkload::bulk_load_scaled;
 use hdidx_vamsplit::query::count_sphere_intersections;
@@ -33,12 +35,28 @@ pub struct BasicParams {
 #[derive(Debug, Clone, Copy)]
 pub struct Basic {
     params: BasicParams,
+    faults: Option<FaultConfig>,
 }
 
 impl Basic {
-    /// Wraps the parameters into a predictor instance.
+    /// Wraps the parameters into a predictor instance (no fault
+    /// injection).
     pub fn new(params: BasicParams) -> Basic {
-        Basic { params }
+        Basic {
+            params,
+            faults: None,
+        }
+    }
+
+    /// Attaches (or clears) a fault-injection configuration: the model's
+    /// one dataset scan then runs through a seeded fault plan in buffered
+    /// chunks, and the sampled points living on chunks whose retries
+    /// exhaust are dropped from the mini-index (reported in
+    /// [`Prediction::degraded`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<FaultConfig>) -> Basic {
+        self.faults = faults;
+        self
     }
 
     /// The wrapped parameters.
@@ -59,7 +77,7 @@ impl Basic {
         topo: &Topology,
         queries: &[QueryBall],
     ) -> Result<Prediction> {
-        predict_basic(data, topo, queries, &self.params)
+        predict_basic_impl(data, topo, queries, &self.params, self.faults)
     }
 }
 
@@ -95,6 +113,16 @@ pub fn predict_basic(
     queries: &[QueryBall],
     params: &BasicParams,
 ) -> Result<Prediction> {
+    predict_basic_impl(data, topo, queries, params, None)
+}
+
+fn predict_basic_impl(
+    data: &Dataset,
+    topo: &Topology,
+    queries: &[QueryBall],
+    params: &BasicParams,
+    faults: Option<FaultConfig>,
+) -> Result<Prediction> {
     let n = data.len();
     if n != topo.n() {
         return Err(Error::invalid(
@@ -112,6 +140,23 @@ pub fn predict_basic(
     if sample.is_empty() {
         return Err(Error::EmptyInput("Bernoulli sample"));
     }
+    // The one dataset scan. With faults it replays through the simulated
+    // disk in buffered chunks and drops the sampled points that lived on
+    // chunks whose retries exhausted; a zero-rate plan bills sequential
+    // chunks identically to `IoStats::run`, keeping the output
+    // bit-identical to the fault-free path.
+    let scan_pages = (n as u64).div_ceil(topo.cap_data() as u64);
+    let (sample, io, degraded) = match faults {
+        None => (
+            sample,
+            IoStats::run(scan_pages),
+            crate::DegradedReport::default(),
+        ),
+        Some(fcfg) => {
+            let scan = faulted_scan(fcfg, scan_pages, 0)?;
+            scan.filter_sample(sample, topo.cap_data() as u64)?
+        }
+    };
     let mini = bulk_load_scaled(data, sample, topo, n as f64)?;
     let applied = if params.compensate { factor } else { 1.0 };
     let mut pages = Vec::with_capacity(mini.num_leaves());
@@ -121,12 +166,11 @@ pub fn predict_basic(
     let per_query: Vec<u64> = Pool::current().par_map(queries, |q| {
         count_sphere_intersections(&pages, &q.center, q.radius)
     });
-    let scan_pages = (n as u64).div_ceil(topo.cap_data() as u64);
     Ok(Prediction {
         per_query,
-        io: IoStats::run(scan_pages),
+        io,
         predicted_leaf_pages: pages.len(),
-        degraded: crate::DegradedReport::default(),
+        degraded,
     })
 }
 
@@ -237,6 +281,42 @@ mod tests {
         .unwrap();
         assert_eq!(p.io, IoStats::run(100));
         assert!(p.predicted_leaf_pages > 0);
+    }
+
+    #[test]
+    fn zero_rate_faults_bit_identical_and_pressure_degrades() {
+        use hdidx_faults::FaultConfig;
+        let data = random_dataset(3000, 6, 75);
+        let topo = Topology::from_capacities(6, 3000, 20, 8).unwrap();
+        let (balls, _) = workload(&data, &topo, 20, 11);
+        let params = BasicParams {
+            zeta: 0.4,
+            compensate: true,
+            seed: 5,
+        };
+        let plain = predict_basic(&data, &topo, &balls, &params).unwrap();
+        let zero = Basic::new(params)
+            .with_faults(Some(FaultConfig::disabled(3)))
+            .run(&data, &topo, &balls)
+            .unwrap();
+        assert_eq!(zero.per_query, plain.per_query);
+        assert_eq!(zero.io, plain.io);
+        assert_eq!(zero.degraded, plain.degraded);
+        // Heavy pressure: find a seed that loses some (not all) chunks —
+        // the prediction survives on the remaining sample and says so.
+        let hurt = (0..200u64)
+            .find_map(|s| {
+                let fcfg = FaultConfig::disabled(s).with_rate_ppm(560_000);
+                Basic::new(params)
+                    .with_faults(Some(fcfg))
+                    .run(&data, &topo, &balls)
+                    .ok()
+                    .filter(|p| p.degraded.is_degraded())
+            })
+            .expect("some seed degrades without destroying the sample");
+        assert!(hurt.degraded.coverage_fraction < 1.0);
+        assert!(hurt.io.retries > 0);
+        assert!(!hurt.per_query.is_empty());
     }
 
     #[test]

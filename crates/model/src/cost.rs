@@ -83,6 +83,7 @@ impl CostInputs {
             seeks: chunks * (1 + k),
             transfers: chunks * (read_per_chunk + write_per_chunk),
             retries: 0,
+            backoff: 0,
         }
     }
 
@@ -95,6 +96,7 @@ impl CostInputs {
             seeks: k,
             transfers: k * pages,
             retries: 0,
+            backoff: 0,
         }
     }
 
@@ -149,6 +151,7 @@ impl CostInputs {
                     seeks: chunked_seeks,
                     transfers: 2 * n_pages,
                     retries: 0,
+                    backoff: 0,
                 };
             }
             level -= 1;
@@ -163,11 +166,13 @@ impl CostInputs {
             seeks: groups,
             transfers: n_pages,
             retries: 0,
+            backoff: 0,
         };
         io += IoStats {
             seeks: groups,
             transfers: topo.total_pages(),
             retries: 0,
+            backoff: 0,
         };
         io
     }
@@ -245,6 +250,7 @@ mod tests {
                 seeks: 3 * (1 + 3),
                 transfers: 3 * (read + write),
                 retries: 0,
+                backoff: 0,
             }
         );
     }

@@ -10,10 +10,13 @@
 //! scan — the cheapest and least accurate of the paper's predictors.
 
 use crate::predictor::Predictor;
-use crate::upper::build_upper_phase;
-use crate::{Prediction, QueryBall};
-use hdidx_core::{Dataset, HyperRect, Result};
+use crate::scan::faulted_scan;
+use crate::upper::{build_upper_phase, build_upper_phase_from_sample, UpperPhase};
+use crate::{DegradedReport, Prediction, QueryBall};
+use hdidx_core::rng::{sample_without_replacement, seeded};
+use hdidx_core::{Dataset, Error, HyperRect, Result};
 use hdidx_diskio::IoStats;
+use hdidx_faults::FaultConfig;
 use hdidx_pool::Pool;
 use hdidx_vamsplit::query::count_sphere_intersections;
 use hdidx_vamsplit::topology::Topology;
@@ -45,12 +48,29 @@ pub struct CutoffPrediction {
 #[derive(Debug, Clone, Copy)]
 pub struct Cutoff {
     params: CutoffParams,
+    faults: Option<FaultConfig>,
 }
 
 impl Cutoff {
-    /// Wraps the parameters into a predictor instance.
+    /// Wraps the parameters into a predictor instance (no fault
+    /// injection).
     pub fn new(params: CutoffParams) -> Cutoff {
-        Cutoff { params }
+        Cutoff {
+            params,
+            faults: None,
+        }
+    }
+
+    /// Attaches (or clears) a fault-injection configuration: the `q`
+    /// query-point reads and the one dataset scan then run through a
+    /// seeded fault plan, the sampled points on scan chunks whose retries
+    /// exhaust are dropped, and the upper tree is built from the surviving
+    /// sample at the correspondingly reduced rate (reported in
+    /// [`Prediction::degraded`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<FaultConfig>) -> Cutoff {
+        self.faults = faults;
+        self
     }
 
     /// The wrapped parameters.
@@ -78,7 +98,14 @@ impl Cutoff {
     ) -> Result<CutoffPrediction> {
         let params = &self.params;
         crate::validate_balls(queries, topo.dim())?;
-        let up = build_upper_phase(data, topo, params.m, params.h_upper, params.seed)?;
+        let (up, io, degraded) = match self.faults {
+            None => {
+                let up = build_upper_phase(data, topo, params.m, params.h_upper, params.seed)?;
+                let io = self.analytic_io(topo, queries.len());
+                (up, io, DegradedReport::default())
+            }
+            Some(fcfg) => self.faulted_upper_phase(data, topo, queries.len(), fcfg)?,
+        };
         // Synthesize the full-scale data-page layout below every grown leaf.
         let mut pages: Vec<HyperRect> = Vec::new();
         for (i, rect) in up.grown_leaves.iter().enumerate() {
@@ -91,13 +118,12 @@ impl Cutoff {
         let per_query: Vec<u64> = pool.par_map(queries, |q| {
             count_sphere_intersections(&pages, &q.center, q.radius)
         });
-        let io = self.analytic_io(topo, queries.len());
         Ok(CutoffPrediction {
             prediction: Prediction {
                 per_query,
                 io,
                 predicted_leaf_pages: pages.len(),
-                degraded: crate::DegradedReport::default(),
+                degraded,
             },
             sigma_upper: up.sigma_upper,
             k: up.k(),
@@ -107,6 +133,45 @@ impl Cutoff {
     fn analytic_io(&self, topo: &Topology, q: usize) -> IoStats {
         let scan_pages = (topo.n() as u64).div_ceil(topo.cap_data() as u64);
         IoStats::random(q as u64) + IoStats::run(scan_pages)
+    }
+
+    /// Mirrors [`build_upper_phase`]'s draw, then replays the analytic
+    /// I/O bill through the fault plan: `q` random query-point reads and
+    /// the chunked dataset scan. The upper tree is built from the sampled
+    /// points that survived, at the proportionally reduced sampling rate
+    /// (a zero-rate plan keeps both bit-identical to the fault-free path).
+    fn faulted_upper_phase(
+        &self,
+        data: &Dataset,
+        topo: &Topology,
+        q: usize,
+        fcfg: FaultConfig,
+    ) -> Result<(UpperPhase, IoStats, DegradedReport)> {
+        let params = &self.params;
+        if params.m == 0 {
+            return Err(Error::invalid("m", "memory must hold at least one point"));
+        }
+        let n = data.len();
+        if n != topo.n() {
+            return Err(Error::invalid(
+                "data",
+                format!("topology is for {} points, data has {n}", topo.n()),
+            ));
+        }
+        let mut rng = seeded(params.seed);
+        let sample = sample_without_replacement(&mut rng, n, params.m);
+        let sigma_full = (params.m as f64 / n as f64).min(1.0);
+        let scan_pages = (n as u64).div_ceil(topo.cap_data() as u64);
+        let scan = faulted_scan(fcfg, scan_pages, q as u64)?;
+        let (survivors, io, degraded) = scan.filter_sample(sample, topo.cap_data() as u64)?;
+        let up = build_upper_phase_from_sample(
+            data,
+            topo,
+            survivors,
+            sigma_full * degraded.coverage_fraction,
+            params.h_upper,
+        )?;
+        Ok((up, io, degraded))
     }
 }
 
@@ -124,9 +189,15 @@ impl Predictor for Cutoff {
         Ok(self.run(data, topo, queries)?.prediction)
     }
 
-    fn io_cost(&self, _data: &Dataset, topo: &Topology, queries: &[QueryBall]) -> Result<IoStats> {
-        // Closed form (Eq. 3): the cutoff bill does not depend on the data.
-        Ok(self.analytic_io(topo, queries.len()))
+    fn io_cost(&self, data: &Dataset, topo: &Topology, queries: &[QueryBall]) -> Result<IoStats> {
+        // Closed form (Eq. 3): the cutoff bill does not depend on the data
+        // — unless a live fault plan can add retries and backoff, in which
+        // case the bill comes from actually running the prediction.
+        if self.faults.is_none_or(|f| f.is_zero()) {
+            Ok(self.analytic_io(topo, queries.len()))
+        } else {
+            Ok(self.predict(data, topo, queries)?.io)
+        }
     }
 }
 
@@ -285,6 +356,50 @@ mod tests {
         .unwrap();
         let pq = &p.prediction.per_query;
         assert!(pq[0] <= pq[1] && pq[1] <= pq[2], "{pq:?}");
+    }
+
+    #[test]
+    fn zero_rate_faults_bit_identical_and_pressure_degrades() {
+        use hdidx_faults::FaultConfig;
+        let data = random_dataset(3000, 4, 84);
+        let topo = Topology::from_capacities(4, 3000, 10, 5).unwrap();
+        let queries: Vec<QueryBall> = (0..9)
+            .map(|i| QueryBall::new(data.point(i * 3).to_vec(), 0.2))
+            .collect();
+        let params = CutoffParams {
+            m: 600,
+            h_upper: 2,
+            seed: 4,
+        };
+        let plain = Cutoff::new(params).run(&data, &topo, &queries).unwrap();
+        let zero = Cutoff::new(params)
+            .with_faults(Some(FaultConfig::disabled(6)))
+            .run(&data, &topo, &queries)
+            .unwrap();
+        assert_eq!(zero.prediction.per_query, plain.prediction.per_query);
+        assert_eq!(zero.prediction.io, plain.prediction.io);
+        assert_eq!(zero.sigma_upper, plain.sigma_upper);
+        assert_eq!(zero.prediction.degraded, plain.prediction.degraded);
+        // Under pressure the survivors carry the estimate at a reduced
+        // sampling rate, and the bill diverges from the closed form — so
+        // io_cost must agree with the executed prediction, not Eq. (3).
+        let hurt = (0..200u64)
+            .find_map(|s| {
+                let fcfg = FaultConfig::disabled(s).with_rate_ppm(560_000);
+                Cutoff::new(params)
+                    .with_faults(Some(fcfg))
+                    .run(&data, &topo, &queries)
+                    .ok()
+                    .map(|p| (fcfg, p))
+                    .filter(|(_, p)| p.prediction.degraded.is_degraded())
+            })
+            .expect("some seed degrades without destroying the sample");
+        let (fcfg, hurt) = hurt;
+        assert!(hurt.sigma_upper < plain.sigma_upper);
+        assert!(hurt.prediction.io.retries > 0);
+        let cut = Cutoff::new(params).with_faults(Some(fcfg));
+        let billed = cut.io_cost(&data, &topo, &queries).unwrap();
+        assert_eq!(billed, hurt.prediction.io);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod cutoff;
 pub mod hupper;
 pub mod predictor;
 pub mod resampled;
+mod scan;
 pub mod structures;
 pub mod upper;
 
@@ -83,6 +84,18 @@ impl QueryBall {
     }
 }
 
+/// Distinguishes a survivable injected fault from a genuine error: an
+/// `Error::IoFault` becomes `Ok(true)` ("this access was lost, degrade
+/// gracefully"), everything else propagates. Shared by every fault-aware
+/// predictor.
+pub(crate) fn access_lost(result: hdidx_core::Result<()>) -> hdidx_core::Result<bool> {
+    match result {
+        Ok(()) => Ok(false),
+        Err(hdidx_core::Error::IoFault { .. }) => Ok(true),
+        Err(e) => Err(e),
+    }
+}
+
 /// Validates that every query ball matches the index dimensionality and
 /// has a finite, non-negative radius. Called by every predictor.
 pub(crate) fn validate_balls(queries: &[QueryBall], dim: usize) -> hdidx_core::Result<()> {
@@ -106,17 +119,19 @@ pub(crate) fn validate_balls(queries: &[QueryBall], dim: usize) -> hdidx_core::R
 /// How much of a prediction came from its primary estimation path when
 /// I/O faults forced parts of it onto a fallback.
 ///
-/// Today only the resampled predictor degrades (an upper leaf whose
-/// second-sample read ultimately fails falls back to the cutoff
-/// extrapolation for that leaf); every other predictor always reports the
-/// default "fully healthy" value.
+/// Every sampling predictor degrades gracefully: the resampled predictor
+/// falls back to cutoff extrapolation for an upper leaf whose
+/// second-sample read ultimately fails, while the basic and cutoff
+/// predictors drop the sampled points living on scan chunks whose retries
+/// exhaust and estimate from the surviving sample. Fault-free runs always
+/// report the default "fully healthy" value.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegradedReport {
-    /// Upper-tree leaves whose lower tree fell back to cutoff
-    /// extrapolation because their second-sample I/O failed.
+    /// Units of work that fell back (resampled: upper leaves on cutoff
+    /// fallback; basic/cutoff: lost scan chunks).
     pub leaves_degraded: usize,
-    /// Fraction of sampled points whose leaf used the primary (resampled)
-    /// path; `1.0` means no degradation at all.
+    /// Fraction of sampled points that survived onto the primary path;
+    /// `1.0` means no degradation at all.
     pub coverage_fraction: f64,
 }
 

@@ -22,9 +22,9 @@ use crate::predictor::Predictor;
 use crate::upper::build_upper_phase;
 use crate::{DegradedReport, Prediction, QueryBall};
 use hdidx_core::rng::{bernoulli_sample, seeded};
-use hdidx_core::{Dataset, Error, HyperRect, Result};
+use hdidx_core::{Dataset, HyperRect, Result};
 use hdidx_diskio::{Disk, IoStats};
-use hdidx_faults::{FaultConfig, FaultEvent, FaultPlan};
+use hdidx_faults::{FaultConfig, FaultEvent, FaultPhase, FaultPlan};
 use hdidx_pool::Pool;
 use hdidx_vamsplit::bulkload::bulk_load_subtree_with;
 use hdidx_vamsplit::query::count_sphere_intersections;
@@ -149,16 +149,7 @@ pub fn predict_resampled(
     predict_resampled_impl(data, topo, queries, params, None)
 }
 
-/// Distinguishes a survivable injected fault from a genuine error: an
-/// [`Error::IoFault`] becomes `Ok(true)` ("this access was lost, degrade
-/// gracefully"), everything else propagates.
-fn access_lost(result: Result<()>) -> Result<bool> {
-    match result {
-        Ok(()) => Ok(false),
-        Err(Error::IoFault { .. }) => Ok(true),
-        Err(e) => Err(e),
-    }
-}
+use crate::access_lost;
 
 fn predict_resampled_impl(
     data: &Dataset,
@@ -185,7 +176,7 @@ fn predict_resampled_impl(
     // ---- I/O accounting disk -------------------------------------------
     let mut disk = Disk::new();
     if let Some(fcfg) = faults {
-        disk.set_fault_plan(Some(FaultPlan::new(fcfg)));
+        disk.set_fault_plan(Some(FaultPlan::new(fcfg.for_phase(FaultPhase::Predict))));
     }
     let data_pages = (n as u64).div_ceil(b);
     let file = disk.alloc(data_pages)?;

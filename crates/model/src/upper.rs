@@ -65,6 +65,31 @@ pub fn build_upper_phase(
     let mut rng = seeded(seed);
     let sample = sample_without_replacement(&mut rng, n, m);
     let sigma_upper = (m as f64 / n as f64).min(1.0);
+    build_upper_phase_from_sample(data, topo, sample, sigma_upper, h_upper)
+}
+
+/// Builds the grown upper tree from an already-drawn sample at an
+/// already-determined sampling rate.
+///
+/// This is [`build_upper_phase`] minus the draw; fault-aware predictors
+/// use it to build from the subset of the sample that survived a fault
+/// plan, passing the correspondingly reduced `sigma_upper`. With the full
+/// sample and `σ = min(M/N, 1)` it is exactly `build_upper_phase`.
+///
+/// # Errors
+///
+/// Rejects infeasible `h_upper` and growth-domain violations (see
+/// [`build_upper_phase`]); the sample must be non-empty.
+pub fn build_upper_phase_from_sample(
+    data: &Dataset,
+    topo: &Topology,
+    sample: Vec<u32>,
+    sigma_upper: f64,
+    h_upper: usize,
+) -> Result<UpperPhase> {
+    if sample.is_empty() {
+        return Err(Error::EmptyInput("upper-tree sample"));
+    }
     let tree = bulk_load_upper(data, sample, topo, h_upper)?;
     let leaf_level = topo.upper_leaf_level(h_upper);
     // Growth factor: the full-scale page at the cut level holds pts(L)

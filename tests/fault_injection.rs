@@ -11,12 +11,18 @@
 //!    only degrade more upper leaves and lower the resampled coverage,
 //!    never the reverse, and predictions under moderate fault pressure
 //!    stay close to the fault-free estimate instead of collapsing.
+//! 4. **Bursts are confined to their declared regions** — every fault
+//!    the correlated-burst model injects hits an access overlapping a
+//!    bad region from the seeded layout; accesses that touch no bad
+//!    region never fail under a burst-only plan.
 
+use hdidx_check::{check, prop_assert, Config, Verdict};
 use hdidx_repro::core::rng::{seeded, Rng};
 use hdidx_repro::core::Dataset;
 use hdidx_repro::diskio::external::{build_on_disk, ExternalConfig};
 use hdidx_repro::diskio::measure::measure_on_disk;
-use hdidx_repro::faults::FaultConfig;
+use hdidx_repro::diskio::Disk;
+use hdidx_repro::faults::{BurstConfig, FaultConfig, FaultPlan, RetryPolicy};
 use hdidx_repro::model::{QueryBall, Resampled, ResampledParams};
 use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
 
@@ -135,6 +141,55 @@ fn same_seed_reproduces_faults_for_any_thread_count() {
             "predictions differ at t={t}"
         );
     }
+    // Burst pin: the correlated-burst layout and the exponential-backoff
+    // charging are part of the same determinism contract — identical
+    // traces (bursts included), retry counts, charged backoff and
+    // degraded output at every thread count.
+    let burst = BurstConfig {
+        window_pages: 4,
+        region_ppm: 500_000,
+        max_region_pages: 2,
+        fault_ppm: 600_000,
+    };
+    let bursty = Resampled::new(ResampledParams {
+        m: 1_200,
+        h_upper: 2,
+        seed: 5,
+    })
+    .with_faults(Some(
+        fcfg.with_burst(Some(burst))
+            .with_retry(RetryPolicy::Exponential),
+    ));
+    hdidx_repro::pool::set_threads(1);
+    let burst_ref = bursty.run(&data, &topo, &queries).unwrap();
+    assert!(
+        burst_ref.fault_trace.iter().any(|e| e.burst),
+        "the burst model must inject at least once under this layout"
+    );
+    assert!(
+        burst_ref.prediction.io.backoff > 0,
+        "exponential retry must charge backoff latency"
+    );
+    for &t in THREAD_COUNTS {
+        hdidx_repro::pool::set_threads(t);
+        let run = bursty.run(&data, &topo, &queries).unwrap();
+        assert_eq!(
+            burst_ref.fault_trace, run.fault_trace,
+            "burst fault trace differs at t={t}"
+        );
+        assert_eq!(
+            burst_ref.prediction.io, run.prediction.io,
+            "I/O (incl. backoff) differs at t={t}"
+        );
+        assert_eq!(
+            burst_ref.prediction.degraded, run.prediction.degraded,
+            "degraded report differs at t={t}"
+        );
+        assert_eq!(
+            burst_ref.prediction.per_query, run.prediction.per_query,
+            "predictions differ at t={t}"
+        );
+    }
     hdidx_repro::pool::set_threads(1);
 
     // The (serial) on-disk measurement replays its trace under the same
@@ -176,7 +231,10 @@ fn degradation_is_monotone_and_graceful_in_the_fault_rate() {
     let mut last_retries = 0u64;
     let mut saw_degradation = false;
     for ppm in [0u32, 20_000, 100_000, 250_000, 400_000] {
-        let fcfg = FaultConfig::disabled(21).with_rate_ppm(ppm);
+        // The seed must keep the predictor's one load-bearing access (the
+        // initial dataset scan, a hard failure by design) alive at every
+        // swept rate; everything downstream degrades per area.
+        let fcfg = FaultConfig::disabled(22).with_rate_ppm(ppm);
         let run = Resampled::new(params)
             .with_faults(Some(fcfg))
             .run(&data, &topo, &queries)
@@ -214,4 +272,70 @@ fn degradation_is_monotone_and_graceful_in_the_fault_rate() {
         "the sweep must actually exercise the fallback path"
     );
     assert!(last_coverage < 1.0);
+}
+
+/// Contract 4: under a burst-only plan (all point rates zero), a fault can
+/// only fire on an access whose range overlaps a bad region of the seeded
+/// layout, torn tears exactly at the first bad page, and ranges that
+/// touch no bad region always succeed.
+#[test]
+fn burst_faults_never_fire_outside_declared_regions() {
+    const FILE_PAGES: u64 = 512;
+    let burst = BurstConfig {
+        window_pages: 16,
+        region_ppm: 300_000,
+        max_region_pages: 8,
+        fault_ppm: 1_000_000, // always fire on overlap: exercises both sides
+    };
+    check(
+        "burst_faults_never_fire_outside_declared_regions",
+        &Config::with_cases(96),
+        |rng| {
+            let seed = rng.gen::<u64>();
+            let count = 1 + (rng.gen::<u64>() % 40) as usize;
+            let accesses: Vec<(u64, u64)> = (0..count)
+                .map(|_| {
+                    let page = rng.gen::<u64>() % FILE_PAGES;
+                    let len = 1 + rng.gen::<u64>() % 24.min(FILE_PAGES - page);
+                    (page, len)
+                })
+                .collect();
+            (seed, accesses)
+        },
+        |(seed, accesses)| {
+            let mut disk = Disk::new();
+            disk.set_fault_plan(Some(FaultPlan::new(
+                FaultConfig::disabled(*seed).with_burst(Some(burst)),
+            )));
+            let file = disk.alloc(FILE_PAGES).unwrap();
+            for &(page, len) in accesses {
+                let clean = burst.first_bad_page(*seed, page, len).is_none();
+                let outcome = disk.access(&file, page, len);
+                prop_assert!(
+                    clean == outcome.is_ok(),
+                    "access ({page}, {len}): clean={clean} but ok={}",
+                    outcome.is_ok()
+                );
+            }
+            for event in disk.fault_trace() {
+                prop_assert!(event.burst, "point fault from a burst-only plan");
+                let first_bad = burst.first_bad_page(*seed, event.page, event.n_pages);
+                prop_assert!(
+                    first_bad.is_some(),
+                    "burst fault at ({}, {}) outside every declared region",
+                    event.page,
+                    event.n_pages
+                );
+                if event.completed_pages > 0 {
+                    prop_assert!(
+                        event.page + event.completed_pages == first_bad.unwrap(),
+                        "torn tear point {} != first bad page {}",
+                        event.page + event.completed_pages,
+                        first_bad.unwrap()
+                    );
+                }
+            }
+            Verdict::Pass
+        },
+    );
 }
