@@ -45,4 +45,16 @@ cargo run -q --release -p hdidx-bench --bin fault_sweep --offline -- --smoke
 echo "==> cargo bench --no-run --offline (bench targets must compile)"
 cargo bench --no-run --offline
 
+# SoA kernel smoke leg: one tiny shape through the kernels bench in
+# soup_smoke mode. The run asserts — before any timing — that the AoS
+# loop, the scalar SoA kernel and the batched SoA kernel return
+# byte-identical counts at 1/2/8 threads, so every CI pass re-proves the
+# bit-identity contract. Results go to a scratch dir so the committed
+# BENCH_kernels.json baseline is never clobbered by smoke-grade numbers.
+echo "==> kernels bench soup_smoke (SoA/AoS count identity)"
+mkdir -p target/bench-smoke
+HDIDX_BENCH_SAMPLES=3 HDIDX_BENCH_WARMUP_MS=1 HDIDX_BENCH_TARGET_MS=0.05 \
+  HDIDX_BENCH_OUT="$PWD/target/bench-smoke" \
+  cargo bench -q --offline -p hdidx-bench --bench kernels -- soup_smoke
+
 echo "CI green."

@@ -7,8 +7,10 @@
 //! kernel: median/p95/min/mean ns and throughput).
 
 use hdidx_check::bench::{black_box, BenchSuite};
+use hdidx_core::knn::scan_knn_radius;
 use hdidx_core::rng::{seeded, Rng};
-use hdidx_core::Dataset;
+use hdidx_core::{Dataset, LeafSoup};
+use hdidx_pool::Pool;
 use hdidx_vamsplit::bulkload::bulk_load;
 use hdidx_vamsplit::kdtree::bulk_load_midsplit;
 use hdidx_vamsplit::query::{count_sphere_intersections, knn, scan_knn};
@@ -89,6 +91,91 @@ fn bench_intersections(suite: &mut BenchSuite) {
     );
 }
 
+/// Density-biased ball queries for the soup benches: dataset points with
+/// exact k-NN radii, the same query shape every predictor consumes.
+fn soup_queries(data: &Dataset, n_queries: usize, k: usize) -> Vec<(Vec<f32>, f64)> {
+    let stride = (data.len() / n_queries).max(1);
+    (0..n_queries)
+        .map(|i| {
+            let center = data.point((i * stride) % data.len()).to_vec();
+            let radius = scan_knn_radius(data, &center, k).unwrap();
+            (center, radius)
+        })
+        .collect()
+}
+
+/// Asserts the AoS loop, the scalar SoA kernel and the batched SoA kernel
+/// all agree on every query (at several thread counts), then times the
+/// AoS-vs-SoA matchup on this shape. Identity first: a speedup bought
+/// with a different count would be meaningless.
+fn run_soup_shape(
+    suite: &mut BenchSuite,
+    prefix: &str,
+    n: usize,
+    dim: usize,
+    seed: u64,
+    n_queries: usize,
+) {
+    let data = random_dataset(n, dim, seed);
+    let topo = Topology::new(dim, n, &PageConfig::DEFAULT).unwrap();
+    let tree = bulk_load(&data, &topo).unwrap();
+    let pages = tree.leaf_rects();
+    let soup = LeafSoup::from_rects(dim, &pages).unwrap();
+    let queries = soup_queries(&data, n_queries, 21);
+
+    let aos: Vec<u64> = queries
+        .iter()
+        .map(|(c, r)| count_sphere_intersections(&pages, c, *r))
+        .collect();
+    let scalar: Vec<u64> = queries
+        .iter()
+        .map(|(c, r)| soup.count_intersecting(c, r * r))
+        .collect();
+    assert_eq!(aos, scalar, "scalar SoA must be byte-identical to AoS");
+    for t in [1usize, 2, 8] {
+        let batch = soup.count_batch(&Pool::new(t), &queries, |q| (q.0.as_slice(), q.1));
+        assert_eq!(aos, batch, "batched SoA must be byte-identical at t={t}");
+    }
+
+    let tag = format!("{prefix}{}x{dim}", pages.len());
+    suite.bench(&format!("aos_count/{tag}"), || {
+        queries
+            .iter()
+            .map(|(c, r)| count_sphere_intersections(black_box(&pages), c, *r))
+            .sum::<u64>()
+    });
+    suite.bench(&format!("soa_count/{tag}"), || {
+        queries
+            .iter()
+            .map(|(c, r)| black_box(&soup).count_intersecting(c, r * r))
+            .sum::<u64>()
+    });
+    let serial = Pool::serial();
+    suite.bench(&format!("soa_count_batch/{tag}"), || {
+        black_box(&soup)
+            .count_batch(&serial, &queries, |q| (q.0.as_slice(), q.1))
+            .iter()
+            .sum::<u64>()
+    });
+}
+
+fn bench_soup(suite: &mut BenchSuite) {
+    // d ∈ {16, 64}; the last shape is the acceptance-criterion case
+    // (largest leaf count at d = 64).
+    run_soup_shape(suite, "", 50_000, 16, 11, 64);
+    run_soup_shape(suite, "", 12_000, 64, 12, 64);
+    run_soup_shape(suite, "", 50_000, 64, 13, 64);
+}
+
+/// Tiny CI leg (`cargo bench --bench kernels -- soup_smoke`): one small
+/// shape that exercises the full identity assertion (AoS == scalar SoA ==
+/// batched SoA at 1/2/8 threads) before a single fast timing pass, so
+/// every CI run proves the bit-identity contract without paying for the
+/// large benchmark datasets.
+fn bench_soup_smoke(suite: &mut BenchSuite) {
+    run_soup_shape(suite, "soup_smoke/", 2_000, 8, 14, 16);
+}
+
 fn bench_fractal(suite: &mut BenchSuite) {
     let data = random_dataset(20_000, 16, 6);
     suite.bench("fractal_dims/20000x16/6levels", || {
@@ -98,12 +185,18 @@ fn bench_fractal(suite: &mut BenchSuite) {
 
 fn main() {
     let mut suite = BenchSuite::new("kernels");
+    if suite.filter() == Some("soup_smoke") {
+        bench_soup_smoke(&mut suite);
+        suite.finish();
+        return;
+    }
     bench_mindist(&mut suite);
     bench_partition(&mut suite);
     bench_bulk_load(&mut suite);
     bench_midsplit(&mut suite);
     bench_knn(&mut suite);
     bench_intersections(&mut suite);
+    bench_soup(&mut suite);
     bench_fractal(&mut suite);
     suite.finish();
 }

@@ -1,6 +1,7 @@
 //! Scaling suite for the deterministic parallel layer (`hdidx-pool`):
-//! the three wired hot paths — bulk loading, per-query sphere counting,
-//! and the resampled predictor — timed at 1, 2 and 4 worker threads.
+//! the wired hot paths — bulk loading, per-query sphere counting, the
+//! batched SoA counting kernel, and the resampled predictor — timed at
+//! 1, 2 and 4 worker threads.
 //!
 //! Results go to `BENCH_parallel.json`; the speedup at `tN` is the
 //! `t1` median divided by the `tN` median of the same group. On a
@@ -12,7 +13,7 @@
 
 use hdidx_check::bench::{black_box, BenchSuite};
 use hdidx_core::rng::{seeded, Rng};
-use hdidx_core::Dataset;
+use hdidx_core::{Dataset, LeafSoup};
 use hdidx_model::{QueryBall, Resampled, ResampledParams};
 use hdidx_pool::Pool;
 use hdidx_vamsplit::bulkload::bulk_load_with;
@@ -69,6 +70,39 @@ fn bench_per_query_eval(
     }
 }
 
+/// The SoA batch kernel the predictors now run on: one `LeafSoup` shared
+/// by all workers, queries fanned out in `QUERY_BLOCK` chunks. Identity
+/// against the per-query scalar kernel is asserted at every thread count
+/// before timing.
+fn bench_batched_counting(
+    suite: &mut BenchSuite,
+    data: &Dataset,
+    topo: &Topology,
+    queries: &[QueryBall],
+) {
+    let tree = bulk_load_with(&Pool::serial(), data, topo).unwrap();
+    let pages = tree.leaf_rects();
+    let soup = LeafSoup::from_rects(data.dim(), &pages).unwrap();
+    let serial: Vec<u64> = queries
+        .iter()
+        .map(|q| soup.count_intersecting(&q.center, q.radius * q.radius))
+        .collect();
+    for &t in THREAD_COUNTS {
+        let pool = Pool::new(t);
+        assert_eq!(
+            serial,
+            soup.count_batch(&pool, queries, |q| (q.center.as_slice(), q.radius)),
+            "batched counts must be identical at t={t}"
+        );
+        suite.bench(&format!("batched_counting/{}q/t{t}", queries.len()), || {
+            black_box(&soup)
+                .count_batch(&pool, queries, |q| (q.center.as_slice(), q.radius))
+                .iter()
+                .sum::<u64>()
+        });
+    }
+}
+
 fn bench_resampled(suite: &mut BenchSuite, data: &Dataset, topo: &Topology, queries: &[QueryBall]) {
     let model = Resampled::new(ResampledParams {
         m: 2_000,
@@ -105,6 +139,7 @@ fn main() {
         .collect();
     bench_bulk_load(&mut suite, &data, &topo);
     bench_per_query_eval(&mut suite, &data, &topo, &queries);
+    bench_batched_counting(&mut suite, &data, &topo, &queries);
     bench_resampled(&mut suite, &data, &topo, &queries);
     suite.finish();
 }

@@ -118,6 +118,16 @@ impl BenchSuite {
         self.config = config;
     }
 
+    /// The CLI substring filter, if one was given (`cargo bench --
+    /// <filter>`). Bench targets with expensive per-group setup can check
+    /// this up front and skip building inputs no benchmark will consume —
+    /// also how dedicated smoke groups (e.g. `soup_smoke` in the `kernels`
+    /// target) are selected from CI.
+    #[must_use]
+    pub fn filter(&self) -> Option<&str> {
+        self.filter.as_deref()
+    }
+
     /// Times `routine` and records the result under `name`.
     pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut routine: F) {
         if self.skipped(name) {

@@ -8,8 +8,13 @@
 
 use crate::dataset::Dataset;
 use crate::error::{Error, Result};
+use hdidx_pool::Pool;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Dimensions per tile of the early-exit distance kernel (matches
+/// [`crate::soup::DIM_TILE`]).
+const DIM_TILE: usize = 8;
 
 #[derive(Debug, PartialEq)]
 struct Candidate {
@@ -30,9 +35,41 @@ impl PartialOrd for Candidate {
     }
 }
 
+/// Squared distance from the stored point `p` to `q`, early-exiting once
+/// the partial sum reaches `bound`. Returns `Some(d2)` exactly when the
+/// fully accumulated `d2 < bound` — and that value is bit-identical to
+/// [`crate::dataset::dist2`] (same per-dimension `f64` accumulation order;
+/// the early exit is sound because squared terms are non-negative and
+/// their `f64` accumulation is monotone). Checked every [`DIM_TILE`]
+/// dimensions so the inner loop stays unroll-friendly.
+#[inline]
+fn dist2_below(p: &[f32], q: &[f32], bound: f64) -> Option<f64> {
+    debug_assert_eq!(p.len(), q.len());
+    let mut acc = 0.0f64;
+    let mut j = 0usize;
+    while j < p.len() {
+        let tile_end = (j + DIM_TILE).min(p.len());
+        for (&x, &y) in p[j..tile_end].iter().zip(&q[j..tile_end]) {
+            let d = f64::from(x) - f64::from(y);
+            acc += d * d;
+        }
+        if acc >= bound {
+            return None;
+        }
+        j = tile_end;
+    }
+    Some(acc)
+}
+
 /// Exact k-NN by linear scan, returning `(distance, id)` pairs in ascending
 /// distance order (ties broken by id). Returns fewer than `k` pairs only if
 /// the dataset is smaller than `k`.
+///
+/// The scan is blocked: after the heap fills, each candidate distance is
+/// accumulated in [`DIM_TILE`]-dimension tiles and abandoned as soon as the
+/// partial sum reaches the current k-th distance ([`dist2_below`]), which
+/// skips most of the per-point work in high dimensions without changing a
+/// single reported neighbor or distance bit.
 ///
 /// # Errors
 ///
@@ -52,29 +89,57 @@ pub fn scan_knn(data: &Dataset, q: &[f32], k: usize) -> Result<Vec<(f64, u32)>> 
     if data.is_empty() {
         return Err(Error::EmptyInput("dataset for scan_knn"));
     }
+    let n = data.len();
     let mut best: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
-    for id in 0..data.len() {
-        let d2 = data.dist2_to(id, q);
-        if best.len() < k {
-            best.push(Candidate {
-                dist2: d2,
-                id: id as u32,
-            });
-        } else if d2 < best.peek().expect("non-empty").dist2 {
+    // Fill phase: the first k points enter unconditionally, with full
+    // distances.
+    let filled = k.min(n);
+    for id in 0..filled {
+        best.push(Candidate {
+            dist2: data.dist2_to(id, q),
+            id: id as u32,
+        });
+    }
+    // Scan phase: prune against the live k-th distance. `bound` tracks
+    // `best.peek()` exactly (updated on every insertion), so the
+    // insert/skip decisions match the unpruned scan bit for bit.
+    let mut bound = best.peek().expect("k > 0").dist2;
+    for id in filled..n {
+        if let Some(d2) = dist2_below(data.point(id), q, bound) {
             best.pop();
             best.push(Candidate {
                 dist2: d2,
                 id: id as u32,
             });
+            bound = best.peek().expect("non-empty").dist2;
         }
     }
-    let mut out: Vec<(f64, u32)> = best
+    // `into_sorted_vec` already yields ascending (dist2, id) order — the
+    // heap's `Ord` — and `sqrt` is monotone, so no re-sort is needed on
+    // this hot ground-truth path.
+    let out: Vec<(f64, u32)> = best
         .into_sorted_vec()
         .into_iter()
         .map(|c| (c.dist2.sqrt(), c.id))
         .collect();
-    out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    debug_assert!(out
+        .windows(2)
+        .all(|w| w[0].0.total_cmp(&w[1].0).then(w[0].1.cmp(&w[1].1)) != Ordering::Greater));
     Ok(out)
+}
+
+/// Exact k-NN radii for the dataset points at `ids`, fanned out over
+/// `pool` (order-preserving: `out[i]` belongs to `ids[i]`, identical for
+/// any thread count). This is the batch entry behind workload radius
+/// generation.
+///
+/// # Errors
+///
+/// Same conditions as [`scan_knn`]; the first failing id aborts the batch.
+pub fn scan_knn_radii(data: &Dataset, ids: &[u32], k: usize, pool: &Pool) -> Result<Vec<f64>> {
+    pool.par_map(ids, |&id| scan_knn_radius(data, data.point(id as usize), k))
+        .into_iter()
+        .collect()
 }
 
 /// Radius of the exact k-NN sphere of `q` (distance to the k-th neighbor).
@@ -129,5 +194,65 @@ mod tests {
         let d = line_data();
         let nn = scan_knn(&d, &[0.0], 25).unwrap();
         assert_eq!(nn.len(), 10);
+    }
+
+    #[test]
+    fn tie_break_order_is_distance_then_id() {
+        // Regression pin for the tail ordering: `into_sorted_vec` must come
+        // out ascending by (distance, id) with no extra sort. Duplicated
+        // points produce exact distance ties at several ids.
+        let d = Dataset::from_flat(
+            1,
+            vec![5.0, 1.0, 3.0, 1.0, 3.0, 1.0, 9.0], // ids 1..=5 all at distance 1
+        )
+        .unwrap();
+        let nn = scan_knn(&d, &[2.0], 6).unwrap();
+        let ids: Vec<u32> = nn.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 0]);
+        for w in nn.windows(2) {
+            assert!(
+                w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1),
+                "order violated: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_scan_matches_exhaustive_distances() {
+        // The early-exit kernel must reproduce the unpruned scan bit for
+        // bit, including in dimensions beyond one DIM_TILE.
+        let mut rng = crate::rng::seeded(99);
+        use crate::rng::Rng;
+        for &dim in &[3usize, 8, 19, 64] {
+            let n = 400;
+            let data =
+                Dataset::from_flat(dim, (0..n * dim).map(|_| rng.gen::<f32>()).collect()).unwrap();
+            let q: Vec<f32> = (0..dim).map(|_| rng.gen::<f32>()).collect();
+            let nn = scan_knn(&data, &q, 9).unwrap();
+            // Exhaustive reference: all distances, fully accumulated.
+            let mut all: Vec<(f64, u32)> = (0..n)
+                .map(|i| (data.dist2_to(i, &q).sqrt(), i as u32))
+                .collect();
+            all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            assert_eq!(nn, all[..9].to_vec(), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn batch_radii_match_serial_at_any_thread_count() {
+        let mut rng = crate::rng::seeded(7);
+        use crate::rng::Rng;
+        let data = Dataset::from_flat(5, (0..300 * 5).map(|_| rng.gen::<f32>()).collect()).unwrap();
+        let ids: Vec<u32> = (0..40).map(|i| i * 7).collect();
+        let expect: Vec<f64> = ids
+            .iter()
+            .map(|&id| scan_knn_radius(&data, data.point(id as usize), 5).unwrap())
+            .collect();
+        for t in [1usize, 2, 8] {
+            let got = scan_knn_radii(&data, &ids, 5, &Pool::new(t)).unwrap();
+            assert_eq!(got, expect, "t={t}");
+        }
+        // Errors propagate.
+        assert!(scan_knn_radii(&data, &ids, 0, &Pool::serial()).is_err());
     }
 }

@@ -12,6 +12,9 @@
 //! * [`HyperRect`] — minimal bounding hyper-rectangles with the distance
 //!   predicates used throughout (MINDIST, sphere intersection, compensation
 //!   growth),
+//! * [`LeafSoup`] — a flat SoA snapshot of a leaf-page set with blocked,
+//!   batch-oriented sphere-counting kernels (the hot loop of every
+//!   predictor), byte-identical to the scalar `HyperRect` path,
 //! * per-dimension statistics ([`stats`]) used by the maximum-variance split,
 //! * a small deterministic RNG wrapper ([`rng`]) so that every experiment in
 //!   the repository is reproducible from a seed.
@@ -26,8 +29,10 @@ pub mod error;
 pub mod knn;
 pub mod rect;
 pub mod rng;
+pub mod soup;
 pub mod stats;
 
 pub use dataset::Dataset;
 pub use error::{Error, Result};
 pub use rect::HyperRect;
+pub use soup::LeafSoup;

@@ -205,13 +205,47 @@ impl HyperRect {
         acc
     }
 
+    /// Early-exit MINDIST² predicate: whether the squared distance from `q`
+    /// to the rectangle exceeds `r2`, stopping the accumulation as soon as
+    /// the partial sum is decided. Because every per-dimension term is
+    /// non-negative and `f64` addition of non-negative terms is monotone,
+    /// a partial sum above `r2` can never come back down — the answer is
+    /// exactly `self.mindist2(q) > r2`, at a fraction of the work for far
+    /// rectangles in high dimensions. [`HyperRect::mindist2`] itself stays
+    /// exact (best-first search needs the full value for its frontier
+    /// ordering).
+    #[inline]
+    pub fn mindist2_exceeds(&self, q: &[f32], r2: f64) -> bool {
+        debug_assert_eq!(q.len(), self.dim());
+        let mut acc = 0.0f64;
+        for ((&lo, &hi), &x) in self.lo.iter().zip(&self.hi).zip(q) {
+            let x = f64::from(x);
+            let lo = f64::from(lo);
+            let hi = f64::from(hi);
+            let d = if x < lo {
+                lo - x
+            } else if x > hi {
+                x - hi
+            } else {
+                continue;
+            };
+            acc += d * d;
+            if acc > r2 {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Whether the closed ball `{x : |x - center| <= radius}` intersects the
     /// rectangle. A query whose final k-NN sphere intersects a leaf page must
     /// read that page (and an optimal NN algorithm reads exactly those
     /// pages), so this predicate *is* the page-access model of the paper.
+    /// Decided with the early-exit [`HyperRect::mindist2_exceeds`] — same
+    /// result as `mindist2(center) <= radius * radius`, bit for bit.
     #[inline]
     pub fn intersects_sphere(&self, center: &[f32], radius: f64) -> bool {
-        self.mindist2(center) <= radius * radius
+        !self.mindist2_exceeds(center, radius * radius)
     }
 
     /// Scales the rectangle about its center by `factor` independently in
@@ -347,6 +381,27 @@ mod tests {
         assert!(r.intersects_sphere(&[2.0, 1.0], 1.0)); // tangent
         assert!(!r.intersects_sphere(&[2.0, 1.0], 0.99));
         assert!(r.intersects_sphere(&[0.5, 0.5], 0.0)); // center inside
+    }
+
+    #[test]
+    fn mindist2_exceeds_agrees_with_full_mindist2() {
+        let r = HyperRect::new(vec![0.0, 0.0, 0.0], vec![1.0, 2.0, 0.5]).unwrap();
+        let qs: [&[f32]; 4] = [
+            &[0.5, 1.0, 0.25], // inside
+            &[2.0, 1.0, 0.25], // one dim out
+            &[2.0, 4.0, 3.0],  // all dims out
+            &[-1.0, 3.0, 0.5], // mixed
+        ];
+        for q in qs {
+            let d2 = r.mindist2(q);
+            for r2 in [0.0, 0.5, d2, d2 + 1e-12, 10.0] {
+                assert_eq!(r.mindist2_exceeds(q, r2), d2 > r2, "q = {q:?}, r2 = {r2}");
+            }
+        }
+        // Tangency: mindist2 == r2 must not count as exceeding.
+        let unit = unit2();
+        assert!(!unit.mindist2_exceeds(&[2.0, 1.0], 1.0));
+        assert!(unit.mindist2_exceeds(&[2.0, 1.0], 0.999));
     }
 
     #[test]

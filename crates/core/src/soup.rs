@@ -1,0 +1,325 @@
+//! `LeafSoup`: a flat, structure-of-arrays (SoA) layout of leaf-page MBRs
+//! with blocked, batch-oriented sphere-counting kernels.
+//!
+//! Every predictor in the paper reduces to the same inner loop — count how
+//! many (grown) leaf pages a query sphere intersects (§3). The pointer-rich
+//! `Vec<HyperRect>` representation is the right tool at build/grow time,
+//! but walking it per query chases two heap allocations per rectangle and
+//! re-branches per dimension. `LeafSoup` flattens the final page set once
+//! into **column-major** `lo`/`hi` arrays — one contiguous `f32` stripe per
+//! dimension — so the counting kernel streams cache lines linearly, the
+//! same discipline sequential VA-file scans rely on (Weber et al.,
+//! VLDB '98).
+//!
+//! ## Blocking factors
+//!
+//! * [`LEAF_BLOCK`] (64) — leaves are processed in blocks; each block keeps
+//!   its partial MINDIST² accumulators in a stack array while the kernel
+//!   sweeps the dimension stripes.
+//! * [`DIM_TILE`] (8) — dimensions are consumed in tiles; after each tile
+//!   the kernel early-exits the whole block once every accumulator already
+//!   exceeds `r²` (the decision is monotone, see below).
+//! * [`QUERY_BLOCK`] (16) — [`LeafSoup::count_batch`] tiles query-block ×
+//!   leaf-block: a leaf block (at most `64 · dim · 8` bytes of bounds) is
+//!   reused by every query of the block while it is hot in cache, and the
+//!   query blocks fan out over an `hdidx-pool` [`Pool`].
+//!
+//! ## The bit-identity contract
+//!
+//! The kernels preserve the scalar path's per-leaf, per-dimension `f64`
+//! accumulation order exactly: for every leaf, the partial sum adds the
+//! squared per-dimension distances in ascending dimension order, computed
+//! with the same subtractions as [`HyperRect::mindist2`] (an in-interval
+//! dimension contributes `+0.0`, which leaves a non-negative `f64`
+//! accumulator bit-identical). Early exit is sound because the terms are
+//! non-negative and `f64` addition of non-negative terms is monotone: once
+//! a partial sum exceeds `r²` the final sum does too. Counts are therefore
+//! **byte-identical** to counting `HyperRect::intersects_sphere` over the
+//! same rectangles — a contract pinned by `tests/soup_kernels.rs` and
+//! asserted by the `kernels`/`parallel` bench suites before any timing.
+
+use crate::error::{Error, Result};
+use crate::rect::HyperRect;
+use hdidx_pool::Pool;
+
+/// Leaves per processing block (partial sums live in a stack array of this
+/// size).
+pub const LEAF_BLOCK: usize = 64;
+
+/// Dimensions per tile between early-exit checks.
+pub const DIM_TILE: usize = 8;
+
+/// Queries per batch block in [`LeafSoup::count_batch`].
+pub const QUERY_BLOCK: usize = 16;
+
+/// A flat SoA snapshot of a leaf-page set: `dim` contiguous `lo` stripes
+/// and `dim` contiguous `hi` stripes of `len` `f32` bounds each
+/// (`lo[j * len + i]` is dimension `j` of leaf `i`).
+///
+/// Build once from the grown `Vec<HyperRect>` page list, then count many
+/// spheres against it.
+///
+/// # Examples
+///
+/// ```
+/// use hdidx_core::{HyperRect, LeafSoup};
+///
+/// let pages = vec![
+///     HyperRect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap(),
+///     HyperRect::new(vec![2.0, 2.0], vec![3.0, 3.0]).unwrap(),
+/// ];
+/// let soup = LeafSoup::from_rects(2, &pages).unwrap();
+/// assert_eq!(soup.count_intersecting(&[0.5, 0.5], 0.0), 1);
+/// assert_eq!(soup.count_intersecting(&[1.5, 1.5], 0.5 + 1e-9), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafSoup {
+    dim: usize,
+    len: usize,
+    lo: Vec<f32>,
+    hi: Vec<f32>,
+}
+
+impl LeafSoup {
+    /// Flattens a rectangle list into the SoA layout. An empty list is
+    /// allowed (every count is 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for `dim == 0` and
+    /// [`Error::DimensionMismatch`] if any rectangle disagrees with `dim`.
+    pub fn from_rects(dim: usize, rects: &[HyperRect]) -> Result<LeafSoup> {
+        if dim == 0 {
+            return Err(Error::invalid("dim", "dimensionality must be positive"));
+        }
+        let len = rects.len();
+        let mut lo = vec![0.0f32; dim * len];
+        let mut hi = vec![0.0f32; dim * len];
+        for (i, r) in rects.iter().enumerate() {
+            if r.dim() != dim {
+                return Err(Error::DimensionMismatch {
+                    expected: dim,
+                    actual: r.dim(),
+                });
+            }
+            for j in 0..dim {
+                lo[j * len + i] = r.lo()[j];
+                hi[j * len + i] = r.hi()[j];
+            }
+        }
+        Ok(LeafSoup { dim, len, lo, hi })
+    }
+
+    /// Dimensionality of the stored rectangles.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored rectangles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the soup holds no rectangles.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored rectangles whose MINDIST² to `center` is at most
+    /// `r2` — exactly the leaves the closed ball of squared radius `r2`
+    /// intersects, byte-identical to filtering the original rectangles
+    /// with [`HyperRect::intersects_sphere`].
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `center.len()` matches the soup dimensionality.
+    pub fn count_intersecting(&self, center: &[f32], r2: f64) -> u64 {
+        debug_assert_eq!(center.len(), self.dim);
+        let mut total = 0u64;
+        let mut start = 0usize;
+        while start < self.len {
+            let end = (start + LEAF_BLOCK).min(self.len);
+            total += self.count_block(start, end, center, r2);
+            start = end;
+        }
+        total
+    }
+
+    /// Batched counting: `out[i]` is the number of stored rectangles the
+    /// query ball `key(&queries[i]) = (center, radius)` intersects (the
+    /// comparison is `MINDIST² <= radius * radius`, matching
+    /// [`HyperRect::intersects_sphere`]).
+    ///
+    /// Queries are processed in [`QUERY_BLOCK`]-sized blocks fanned out
+    /// over `pool`; within a block the loop is leaf-block-major so each
+    /// leaf block is reused by every query while hot in cache. Results are
+    /// in query order and identical for any thread count.
+    pub fn count_batch<Q, F>(&self, pool: &Pool, queries: &[Q], key: F) -> Vec<u64>
+    where
+        Q: Sync,
+        F: Fn(&Q) -> (&[f32], f64) + Sync,
+    {
+        pool.par_flat_chunks(queries, QUERY_BLOCK, |_, chunk| {
+            self.count_chunk(chunk, &key)
+        })
+    }
+
+    /// Counts one query block: leaf blocks on the outer loop (cache
+    /// reuse), queries on the inner.
+    fn count_chunk<Q, F>(&self, chunk: &[Q], key: &F) -> Vec<u64>
+    where
+        F: Fn(&Q) -> (&[f32], f64),
+    {
+        let mut counts = vec![0u64; chunk.len()];
+        let mut start = 0usize;
+        while start < self.len {
+            let end = (start + LEAF_BLOCK).min(self.len);
+            for (out, q) in counts.iter_mut().zip(chunk) {
+                let (center, radius) = key(q);
+                *out += self.count_block(start, end, center, radius * radius);
+            }
+            start = end;
+        }
+        counts
+    }
+
+    /// The blocked kernel: MINDIST² accumulation for leaves
+    /// `[start, end)` against one sphere, sweeping dimension stripes with
+    /// an all-lanes early exit every [`DIM_TILE`] dimensions.
+    #[inline]
+    fn count_block(&self, start: usize, end: usize, center: &[f32], r2: f64) -> u64 {
+        debug_assert_eq!(center.len(), self.dim);
+        debug_assert!(end - start <= LEAF_BLOCK && start <= end && end <= self.len);
+        let width = end - start;
+        let mut acc = [0.0f64; LEAF_BLOCK];
+        let mut j = 0usize;
+        while j < self.dim {
+            let tile_end = (j + DIM_TILE).min(self.dim);
+            while j < tile_end {
+                let x = f64::from(center[j]);
+                let lo = &self.lo[j * self.len + start..j * self.len + end];
+                let hi = &self.hi[j * self.len + start..j * self.len + end];
+                for ((a, &l), &h) in acc[..width].iter_mut().zip(lo).zip(hi) {
+                    // Same arithmetic as `HyperRect::mindist2`, branch-free:
+                    // below → lo - x, above → x - hi, inside → +0.0 (a no-op
+                    // on the non-negative accumulator).
+                    let d = (f64::from(l) - x).max(x - f64::from(h)).max(0.0);
+                    *a += d * d;
+                }
+                j += 1;
+            }
+            // Monotone accumulation: once every lane exceeds r², no later
+            // dimension can change any decision in this block.
+            if acc[..width].iter().all(|&a| a > r2) {
+                break;
+            }
+        }
+        acc[..width].iter().filter(|&&a| a <= r2).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{seeded, Rng};
+
+    /// Random rectangles, including degenerate (point) ones.
+    fn random_rects(n: usize, dim: usize, seed: u64) -> Vec<HyperRect> {
+        let mut rng = seeded(seed);
+        (0..n)
+            .map(|_| {
+                let lo: Vec<f32> = (0..dim).map(|_| rng.gen::<f32>() * 4.0 - 2.0).collect();
+                if rng.gen_bool(0.2) {
+                    HyperRect::point(&lo)
+                } else {
+                    let hi: Vec<f32> = lo.iter().map(|&l| l + rng.gen::<f32>()).collect();
+                    HyperRect::new(lo, hi).unwrap()
+                }
+            })
+            .collect()
+    }
+
+    fn naive_count(rects: &[HyperRect], center: &[f32], radius: f64) -> u64 {
+        rects
+            .iter()
+            .filter(|r| r.intersects_sphere(center, radius))
+            .count() as u64
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(LeafSoup::from_rects(0, &[]).is_err());
+        let r = HyperRect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        assert!(LeafSoup::from_rects(3, std::slice::from_ref(&r)).is_err());
+        let soup = LeafSoup::from_rects(2, &[r]).unwrap();
+        assert_eq!((soup.dim(), soup.len()), (2, 1));
+        assert!(!soup.is_empty());
+    }
+
+    #[test]
+    fn empty_soup_counts_zero() {
+        let soup = LeafSoup::from_rects(3, &[]).unwrap();
+        assert!(soup.is_empty());
+        assert_eq!(soup.count_intersecting(&[0.0, 0.0, 0.0], 10.0), 0);
+        let queries = [(vec![0.0f32, 0.0, 0.0], 1.0f64)];
+        let out = soup.count_batch(&Pool::serial(), &queries, |q| (q.0.as_slice(), q.1));
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn matches_naive_across_shapes_and_radii() {
+        let mut rng = seeded(42);
+        for &dim in &[1usize, 2, 3, 7, 8, 64] {
+            // Cross a LEAF_BLOCK boundary and include a short tail.
+            for &n in &[1usize, 63, 64, 65, 200] {
+                let rects = random_rects(n, dim, 1000 + (dim * n) as u64);
+                let soup = LeafSoup::from_rects(dim, &rects).unwrap();
+                for _ in 0..8 {
+                    let c: Vec<f32> = (0..dim).map(|_| rng.gen::<f32>() * 6.0 - 3.0).collect();
+                    for radius in [0.0, 0.3, 1.5, 10.0] {
+                        assert_eq!(
+                            soup.count_intersecting(&c, radius * radius),
+                            naive_count(&rects, &c, radius),
+                            "dim {dim}, n {n}, radius {radius}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_at_any_thread_count() {
+        let rects = random_rects(333, 6, 7);
+        let soup = LeafSoup::from_rects(6, &rects).unwrap();
+        let mut rng = seeded(8);
+        let queries: Vec<(Vec<f32>, f64)> = (0..50)
+            .map(|_| {
+                let c: Vec<f32> = (0..6).map(|_| rng.gen::<f32>() * 6.0 - 3.0).collect();
+                let r = rng.gen::<f64>() * 2.0;
+                (c, r)
+            })
+            .collect();
+        let expect: Vec<u64> = queries
+            .iter()
+            .map(|(c, r)| soup.count_intersecting(c, r * r))
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let got = soup.count_batch(&Pool::new(threads), &queries, |q| (q.0.as_slice(), q.1));
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn tangent_sphere_counts_like_scalar_path() {
+        // MINDIST² == r² exactly: the closed-ball convention must match
+        // `intersects_sphere` (tangency counts).
+        let rects = vec![HyperRect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap()];
+        let soup = LeafSoup::from_rects(2, &rects).unwrap();
+        assert_eq!(soup.count_intersecting(&[2.0, 1.0], 1.0), 1);
+        assert_eq!(soup.count_intersecting(&[2.0, 1.0], 1.0 - 1e-9), 0);
+    }
+}

@@ -7,13 +7,16 @@
 //! `(center, radius)` pairs, so prediction error isolates the page-layout
 //! estimate, exactly as in the paper.
 //!
-//! Radius computation is an exact linear scan per query; queries are
-//! independent, so the scan is parallelized over the available cores with
-//! scoped threads (no extra dependencies).
+//! Radius computation is an exact linear scan per query, running on the
+//! blocked early-exit kernel of `hdidx_core::knn`; queries are independent
+//! and fan out over the workspace [`Pool`] (order-preserving, so the
+//! workload is identical for any thread count, and `--threads` /
+//! `HDIDX_THREADS` steer it like every other hot path).
 
-use hdidx_core::knn::scan_knn_radius;
+use hdidx_core::knn::scan_knn_radii;
 use hdidx_core::rng::{sample_without_replacement, seeded};
 use hdidx_core::{Dataset, Error, Result};
+use hdidx_pool::Pool;
 
 /// One ball query: a center (a dataset point) and its exact k-NN radius.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,46 +141,17 @@ impl Workload {
     }
 }
 
-/// Exact k-NN radii for the points at `ids`, parallelized over queries.
+/// Exact k-NN radii for the points at `ids`, fanned out over the ambient
+/// workspace pool via the batch kernel in `hdidx_core::knn`.
 fn parallel_radii(data: &Dataset, ids: &[u32], k: usize) -> Result<Vec<f64>> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(ids.len().max(1));
-    if threads <= 1 || ids.len() < 8 {
-        return ids
-            .iter()
-            .map(|&id| scan_knn_radius(data, data.point(id as usize), k))
-            .collect();
-    }
-    let chunk = ids.len().div_ceil(threads);
-    let mut results: Vec<Result<Vec<f64>>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ids
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move || {
-                    part.iter()
-                        .map(|&id| scan_knn_radius(data, data.point(id as usize), k))
-                        .collect::<Result<Vec<f64>>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("radius worker panicked"));
-        }
-    });
-    let mut out = Vec::with_capacity(ids.len());
-    for r in results {
-        out.extend(r?);
-    }
-    Ok(out)
+    scan_knn_radii(data, ids, k, &Pool::current())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::uniform::UniformSpec;
+    use hdidx_core::knn::scan_knn_radius;
 
     fn data() -> Dataset {
         UniformSpec {

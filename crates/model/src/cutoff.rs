@@ -14,11 +14,10 @@ use crate::scan::faulted_scan;
 use crate::upper::{build_upper_phase, build_upper_phase_from_sample, UpperPhase};
 use crate::{DegradedReport, Prediction, QueryBall};
 use hdidx_core::rng::{sample_without_replacement, seeded};
-use hdidx_core::{Dataset, Error, HyperRect, Result};
+use hdidx_core::{Dataset, Error, HyperRect, LeafSoup, Result};
 use hdidx_diskio::IoStats;
 use hdidx_faults::FaultConfig;
 use hdidx_pool::Pool;
-use hdidx_vamsplit::query::count_sphere_intersections;
 use hdidx_vamsplit::topology::Topology;
 
 /// Parameters of the cutoff predictor.
@@ -114,9 +113,11 @@ impl Cutoff {
             let n_full = (up.leaf_samples[i].len() as f64 / up.sigma_upper).max(2.0);
             synthesize_pages(rect, up.leaf_level, n_full, topo, &mut pages);
         }
-        let pool = Pool::current();
-        let per_query: Vec<u64> = pool.par_map(queries, |q| {
-            count_sphere_intersections(&pages, &q.center, q.radius)
+        // SoA soup + blocked batch counting (byte-identical to the scalar
+        // per-rect path).
+        let soup = LeafSoup::from_rects(topo.dim(), &pages)?;
+        let per_query = soup.count_batch(&Pool::current(), queries, |q| {
+            (q.center.as_slice(), q.radius)
         });
         Ok(CutoffPrediction {
             prediction: Prediction {

@@ -22,12 +22,11 @@ use crate::predictor::Predictor;
 use crate::upper::build_upper_phase;
 use crate::{DegradedReport, Prediction, QueryBall};
 use hdidx_core::rng::{bernoulli_sample, seeded};
-use hdidx_core::{Dataset, HyperRect, Result};
+use hdidx_core::{Dataset, HyperRect, LeafSoup, Result};
 use hdidx_diskio::{Disk, IoStats};
 use hdidx_faults::{FaultConfig, FaultEvent, FaultPhase, FaultPlan};
 use hdidx_pool::Pool;
 use hdidx_vamsplit::bulkload::bulk_load_subtree_with;
-use hdidx_vamsplit::query::count_sphere_intersections;
 use hdidx_vamsplit::topology::Topology;
 
 /// Parameters of the resampled predictor.
@@ -331,9 +330,11 @@ fn predict_resampled_impl(
         covered_points as f64 / total_points as f64
     };
 
-    let per_query: Vec<u64> = pool.par_map(queries, |q| {
-        count_sphere_intersections(&pages, &q.center, q.radius)
-    });
+    // All pages — lower-tree builds and degraded cutoff fallbacks alike —
+    // are flattened into one SoA soup and counted through the blocked
+    // batch kernel (byte-identical to the scalar per-rect path).
+    let soup = LeafSoup::from_rects(topo.dim(), &pages)?;
+    let per_query = soup.count_batch(&pool, queries, |q| (q.center.as_slice(), q.radius));
     let fault_trace = disk.fault_trace().to_vec();
     Ok(ResampledPrediction {
         prediction: Prediction {

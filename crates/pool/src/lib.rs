@@ -345,6 +345,28 @@ impl Pool {
         self.par_map(&chunks, |&(i, chunk)| f(i, chunk))
     }
 
+    /// Maps `f` over fixed-size chunks of `items` and concatenates the
+    /// per-chunk output vectors in input order — the batch wiring for
+    /// kernels that produce one result per item but want to process items
+    /// in cache-sized blocks (e.g. the tiled sphere counting of
+    /// `hdidx_core::LeafSoup::count_batch`). `f` receives the stable chunk
+    /// index alongside the chunk, so it can derive per-chunk seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`. Panics in `f` propagate.
+    pub fn par_flat_chunks<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> Vec<R> + Sync,
+    {
+        self.par_chunks(items, chunk_size, f)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
     /// Like [`Pool::par_map`], but a panicking work item yields a per-item
     /// `Err(WorkerPanic)` instead of tearing down the whole batch: the
     /// remaining items still run and return their results in order.
@@ -450,6 +472,21 @@ mod tests {
             assert_eq!(chunk, &expect);
         }
         assert_eq!(out[10].1.len(), 3);
+    }
+
+    #[test]
+    fn par_flat_chunks_preserves_item_order() {
+        let items: Vec<u32> = (0..103).collect();
+        let expect: Vec<u32> = items.iter().map(|x| x * 3).collect();
+        for t in [1, 2, 5, 8] {
+            let pool = Pool::new(t);
+            let out = pool.par_flat_chunks(&items, 10, |i, chunk| {
+                // The stable chunk index addresses the original slice.
+                assert_eq!(chunk[0], (i * 10) as u32);
+                chunk.iter().map(|x| x * 3).collect()
+            });
+            assert_eq!(out, expect, "t={t}");
+        }
     }
 
     #[test]

@@ -216,12 +216,17 @@ pub fn range_query(tree: &RTree, data: &Dataset, center: &[f32], radius: f64) ->
 // Exact linear-scan k-NN (ground truth for query radii) lives in the kernel
 // crate; re-exported here because search tests and callers naturally look
 // for it next to the index-based `knn`.
-pub use hdidx_core::knn::{scan_knn, scan_knn_radius};
+pub use hdidx_core::knn::{scan_knn, scan_knn_radii, scan_knn_radius};
 
 /// Number of rectangles in `pages` intersected by the closed ball around
 /// `center`. This single function is the paper's page-access estimator: the
 /// predicted cost of a query is the count of (grown) mini-index leaf pages
 /// its k-NN sphere intersects.
+///
+/// This is the scalar AoS reference path (kept exact and simple for tests
+/// and one-off counts); the predictors' hot loops flatten the page list
+/// into an [`hdidx_core::LeafSoup`] and run the blocked SoA batch kernel,
+/// which returns byte-identical counts.
 pub fn count_sphere_intersections(pages: &[HyperRect], center: &[f32], radius: f64) -> u64 {
     pages
         .iter()
