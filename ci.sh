@@ -57,4 +57,23 @@ HDIDX_BENCH_SAMPLES=3 HDIDX_BENCH_WARMUP_MS=1 HDIDX_BENCH_TARGET_MS=0.05 \
   HDIDX_BENCH_OUT="$PWD/target/bench-smoke" \
   cargo bench -q --offline -p hdidx-bench --bench kernels -- soup_smoke
 
+# Serving smoke legs: the open-loop serving subsystem end to end through
+# the CLI — once clean, once under a chaos fault seed with exponential
+# retry (so backoff is charged and admission control actually sheds) —
+# plus the sweep binary. Sweep output goes to the scratch dir so the
+# committed BENCH_serve.json baseline is never clobbered.
+echo "==> hdidx serve --smoke (clean + chaos fault seed)"
+cargo run -q --release -p hdidx-cli --offline -- generate \
+  --dataset texture48 --scale 0.2 --out target/bench-smoke/t48.csv
+cargo run -q --release -p hdidx-cli --offline -- serve \
+  --data target/bench-smoke/t48.csv --m 200 --smoke --seed 5
+cargo run -q --release -p hdidx-cli --offline -- serve \
+  --data target/bench-smoke/t48.csv --m 200 --smoke --seed 5 \
+  --fault-seed 3 --fault-ppm 300000 --retry-policy exponential \
+  --fault-phase-scale build:0 --admission-budget 0.05
+
+echo "==> serve_sweep --smoke (tail-latency experiment)"
+HDIDX_BENCH_OUT="$PWD/target/bench-smoke" \
+  cargo run -q --release -p hdidx-bench --bin serve_sweep --offline -- --smoke
+
 echo "CI green."

@@ -196,11 +196,15 @@ impl BenchSuite {
     fn record(&mut self, name: &str, mut samples_ns: Vec<f64>, iters_per_sample: u64) {
         samples_ns.sort_by(|a, b| a.total_cmp(b));
         let n = samples_ns.len();
-        let median = percentile(&samples_ns, 0.50);
+        let percentile = |q: f64| {
+            crate::stats::interpolated(&samples_ns, q)
+                .expect("bench samples are non-empty wall-clock times")
+        };
+        let median = percentile(0.50);
         let result = BenchResult {
             name: name.to_string(),
             median_ns: median,
-            p95_ns: percentile(&samples_ns, 0.95),
+            p95_ns: percentile(0.95),
             min_ns: samples_ns[0],
             mean_ns: samples_ns.iter().sum::<f64>() / n as f64,
             throughput_per_s: if median > 0.0 {
@@ -271,19 +275,6 @@ fn time_batch<T, F: FnMut() -> T>(routine: &mut F, iters: u64) -> f64 {
     start.elapsed().as_nanos() as f64
 }
 
-/// Linear-interpolated percentile of an ascending-sorted slice.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
-    if sorted.len() == 1 {
-        return sorted[0];
-    }
-    let pos = q * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    let frac = pos - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
-}
-
 fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.3} s", ns / 1e9)
@@ -312,15 +303,6 @@ fn json_escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn percentile_interpolates() {
-        let xs = [1.0, 2.0, 3.0, 4.0];
-        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
-        assert!((percentile(&xs, 1.0) - 4.0).abs() < 1e-12);
-        assert!((percentile(&xs, 0.5) - 2.5).abs() < 1e-12);
-        assert!((percentile(&[7.0], 0.95) - 7.0).abs() < 1e-12);
-    }
 
     #[test]
     fn json_escape_handles_specials() {

@@ -10,6 +10,9 @@
 //!   adaptive batched sampling, median/p95/min/mean + throughput, and
 //!   JSON-lines output (`BENCH_<suite>.json`) for cross-PR trajectory
 //!   tracking.
+//! * [`stats`] — shared percentile helpers over sorted samples
+//!   (linear-interpolated for the bench artifacts, exact nearest-rank for
+//!   tail-latency accounting), NaN-rejecting.
 //!
 //! Like `hdidx-rand`, this crate has **zero external dependencies**: the
 //! repository's correctness claims and performance numbers must be
@@ -19,6 +22,7 @@
 pub mod bench;
 pub mod prop;
 pub mod shrink;
+pub mod stats;
 
 pub use bench::{black_box, BenchConfig, BenchResult, BenchSuite};
 pub use prop::{check, Config, Verdict};

@@ -1,0 +1,148 @@
+//! Shared sample statistics over **ascending-sorted** `f64` samples.
+//!
+//! Two percentile definitions coexist in the workspace and both live here
+//! so no caller duplicates quantile code:
+//!
+//! * [`interpolated`] — linear interpolation between the two bracketing
+//!   order statistics. This is what [`crate::bench::BenchSuite`] has always
+//!   reported (`median_ns` / `p95_ns` in the committed `BENCH_*.json`
+//!   baselines), so it stays the bench definition for artifact stability.
+//! * [`nearest_rank`] — the exact nearest-rank percentile: the smallest
+//!   sample `x` such that at least `q·n` samples are `<= x`. Every reported
+//!   value is an actual observed sample, which is the right definition for
+//!   tail-latency accounting (`hdidx-serve`'s `LatencyRecorder`): a p99
+//!   that was never observed is not a latency anyone experienced.
+//!
+//! All helpers are **NaN-rejecting**: a sample set containing a NaN (or an
+//! empty one, or a quantile outside `[0, 1]`) yields `None` instead of a
+//! NaN-poisoned or arbitrary answer. Inputs must already be sorted
+//! ascending (by `total_cmp`); this is debug-asserted, not re-sorted, so
+//! the helpers stay allocation-free on hot reporting paths.
+
+/// True when `samples` is free of NaNs and ascending under `total_cmp`.
+#[must_use]
+pub fn is_clean_sorted(samples: &[f64]) -> bool {
+    !samples.iter().any(|x| x.is_nan()) && samples.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le())
+}
+
+/// Exact nearest-rank percentile of an ascending-sorted slice: the
+/// `ceil(q·n)`-th smallest sample (1-based), i.e. always an observed
+/// value. `q = 0` selects the minimum, `q = 1` the maximum.
+///
+/// Returns `None` for an empty slice, a NaN-containing slice, or a
+/// quantile outside `[0, 1]`.
+#[must_use]
+pub fn nearest_rank(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=1.0).contains(&q) || sorted.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    debug_assert!(is_clean_sorted(sorted), "input must be sorted ascending");
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    Some(sorted[rank - 1])
+}
+
+/// Nearest-rank median (see [`nearest_rank`]).
+#[must_use]
+pub fn p50(sorted: &[f64]) -> Option<f64> {
+    nearest_rank(sorted, 0.50)
+}
+
+/// Nearest-rank 95th percentile (see [`nearest_rank`]).
+#[must_use]
+pub fn p95(sorted: &[f64]) -> Option<f64> {
+    nearest_rank(sorted, 0.95)
+}
+
+/// Nearest-rank 99th percentile (see [`nearest_rank`]).
+#[must_use]
+pub fn p99(sorted: &[f64]) -> Option<f64> {
+    nearest_rank(sorted, 0.99)
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice: the value
+/// at fractional position `q·(n−1)`, interpolating between the bracketing
+/// samples. The historical `BenchSuite` definition.
+///
+/// Returns `None` for an empty slice, a NaN-containing slice, or a
+/// quantile outside `[0, 1]`.
+#[must_use]
+pub fn interpolated(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=1.0).contains(&q) || sorted.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    debug_assert!(is_clean_sorted(sorted), "input must be sorted ascending");
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_returns_observed_samples() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        // ceil(0.5 * 4) = 2 -> second sample.
+        assert_eq!(nearest_rank(&xs, 0.50), Some(2.0));
+        assert_eq!(nearest_rank(&xs, 0.0), Some(1.0));
+        assert_eq!(nearest_rank(&xs, 1.0), Some(4.0));
+        // Every result must be a member of the input.
+        for q in [0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
+            let v = nearest_rank(&xs, q).unwrap();
+            assert!(xs.contains(&v), "q={q} gave non-sample {v}");
+        }
+        assert_eq!(nearest_rank(&[7.5], 0.99), Some(7.5));
+    }
+
+    #[test]
+    fn nearest_rank_p99_of_100_is_the_99th_sample() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(p50(&xs), Some(50.0));
+        assert_eq!(p95(&xs), Some(95.0));
+        assert_eq!(p99(&xs), Some(99.0));
+        // One fewer sample shifts every rank down by the ceil.
+        let xs: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(p50(&xs), Some(5.0));
+        assert_eq!(p95(&xs), Some(10.0));
+        assert_eq!(p99(&xs), Some(10.0));
+    }
+
+    #[test]
+    fn interpolated_matches_historical_bench_definition() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((interpolated(&xs, 0.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((interpolated(&xs, 1.0).unwrap() - 4.0).abs() < 1e-12);
+        assert!((interpolated(&xs, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!((interpolated(&[7.0], 0.95).unwrap() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty_nan_and_out_of_range() {
+        assert_eq!(nearest_rank(&[], 0.5), None);
+        assert_eq!(interpolated(&[], 0.5), None);
+        let bad = [1.0, f64::NAN];
+        assert_eq!(nearest_rank(&bad, 0.5), None);
+        assert_eq!(interpolated(&bad, 0.5), None);
+        assert_eq!(p50(&bad), None);
+        let ok = [1.0, 2.0];
+        assert_eq!(nearest_rank(&ok, -0.1), None);
+        assert_eq!(nearest_rank(&ok, 1.1), None);
+        assert_eq!(interpolated(&ok, 2.0), None);
+    }
+
+    #[test]
+    fn clean_sorted_detects_disorder_and_nan() {
+        assert!(is_clean_sorted(&[]));
+        assert!(is_clean_sorted(&[1.0]));
+        assert!(is_clean_sorted(&[1.0, 1.0, 2.0]));
+        assert!(!is_clean_sorted(&[2.0, 1.0]));
+        assert!(!is_clean_sorted(&[1.0, f64::NAN]));
+    }
+}

@@ -8,6 +8,7 @@
 
 use hdidx_baselines::PREDICTOR_NAMES;
 use hdidx_faults::{FaultPhase, RetryPolicy};
+use hdidx_serve::{ArrivalModel, MixSpec};
 
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +114,48 @@ pub enum Command {
         /// (None = 100 % everywhere).
         fault_phase_scale: Option<[u16; 3]>,
     },
+    /// Serve an open-loop query stream against a built index and report
+    /// tail latency.
+    Serve {
+        /// CSV path.
+        data: String,
+        /// Page size in bytes.
+        page_bytes: usize,
+        /// Memory budget in points.
+        m: usize,
+        /// Mean arrival rate, requests per simulated second.
+        rate: f64,
+        /// Arrival window length in simulated seconds.
+        duration: f64,
+        /// Read mix over range/knn/predict.
+        mix: MixSpec,
+        /// Interarrival model.
+        arrivals: ArrivalModel,
+        /// Simulated service slots.
+        concurrency: usize,
+        /// Requests per dispatch batch.
+        batch: usize,
+        /// Admission backoff budget in seconds (None = shedding disabled).
+        admission_budget: Option<f64>,
+        /// Number of candidate query balls in the workload pool.
+        queries: usize,
+        /// Neighbor count for workload radii and k-NN requests.
+        k: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Worker threads (None = available parallelism, 1 = serial).
+        threads: Option<usize>,
+        /// Fault-injection seed (None = `HDIDX_FAULT_SEED` or no faults).
+        fault_seed: Option<u64>,
+        /// Fault rate override in ppm (transient; torn/spikes at half).
+        fault_ppm: Option<u32>,
+        /// Retry/backoff policy override (None = `HDIDX_RETRY_POLICY` /
+        /// `HDIDX_RETRY_BUDGET` or the fixed default).
+        retry: Option<RetryPolicy>,
+        /// Per-phase fault-rate percentages in `FaultPhase::ALL` order
+        /// (None = 100 % everywhere).
+        fault_phase_scale: Option<[u16; 3]>,
+    },
     /// Generate a named dataset analog as CSV.
     Generate {
         /// Analog name (color64, texture48, texture60, isolet617,
@@ -147,7 +190,22 @@ USAGE:
                  [--page-bytes 8192] [--seed 42] [--threads N]
                  [--fault-seed S] [--fault-ppm P] [--fault-phase-scale SPEC]
                  [--retry-policy fixed|exponential|budgeted] [--retry-budget B]
+  hdidx serve    --data <csv> --m <points> [--rate 200] [--duration 10]
+                 [--mix range:0.5,knn:0.3,predict:0.2] [--arrivals fixed|bursty]
+                 [--concurrency 4] [--batch 8] [--admission-budget S]
+                 [--queries 500] [--k 21] [--page-bytes 8192] [--seed 42]
+                 [--threads N] [--smoke] [fault/retry flags as above]
   hdidx generate --dataset <name> [--scale 1.0] --out <csv>
+
+`serve` builds the index, generates an open-loop request stream on
+simulated time (`--rate` requests/s for `--duration` s; `--arrivals
+bursty` clumps arrivals without changing the mean rate), executes it in
+`--batch`-sized batches over `--concurrency` simulated service slots,
+and reports exact nearest-rank p50/p95/p99/max latency plus a digest of
+the per-query samples (byte-identical for any --threads).
+`--admission-budget S` sheds whole batches while the sliding window of
+charged fault-retry backoff exceeds S seconds; the report then includes
+the shed fraction. `--smoke` shrinks the defaults to CI scale.
 
 `--threads 1` forces serial execution; omitting --threads uses the
 HDIDX_THREADS environment variable or the machine's available
@@ -183,23 +241,36 @@ variables, which override the fixed default.
 
 struct Opts {
     pairs: Vec<(String, String)>,
+    flags: Vec<String>,
 }
 
 impl Opts {
-    fn parse(rest: &[String]) -> Result<Opts, String> {
+    /// Parses `--key value` pairs; any key listed in `boolean` is a bare
+    /// flag consuming no value (e.g. `--smoke`).
+    fn parse(rest: &[String], boolean: &[&str]) -> Result<Opts, String> {
         let mut pairs = Vec::new();
+        let mut flags = Vec::new();
         let mut i = 0;
         while i < rest.len() {
             let key = rest[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected an option, got `{}`", rest[i]))?;
+            if boolean.contains(&key) {
+                flags.push(key.to_string());
+                i += 1;
+                continue;
+            }
             let value = rest
                 .get(i + 1)
                 .ok_or_else(|| format!("option --{key} requires a value"))?;
             pairs.push((key.to_string(), value.clone()));
             i += 2;
         }
-        Ok(Opts { pairs })
+        Ok(Opts { pairs, flags })
+    }
+
+    fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|k| k == key)
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -235,7 +306,7 @@ impl Opts {
     }
 
     fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
-        for (k, _) in &self.pairs {
+        for k in self.pairs.iter().map(|(k, _)| k).chain(&self.flags) {
             if !known.contains(&k.as_str()) {
                 return Err(format!("unknown option --{k}"));
             }
@@ -289,6 +360,18 @@ fn parse_threads(opts: &Opts) -> Result<Option<usize>, String> {
     Ok(threads)
 }
 
+/// Parses a `f64` option that must be positive and finite (rates,
+/// durations, budgets — a zero or NaN rate would hang or poison the run).
+fn parse_positive_or(opts: &Opts, key: &str, default: f64) -> Result<f64, String> {
+    let v: f64 = opts.parse_or(key, default)?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(format!(
+            "option --{key}: must be positive and finite, got `{v}`"
+        ));
+    }
+    Ok(v)
+}
+
 impl Cli {
     /// Parses `argv` (without the program name).
     ///
@@ -302,7 +385,7 @@ impl Cli {
                 command: Command::Help,
             });
         };
-        let opts = Opts::parse(&argv[1..])?;
+        let opts = Opts::parse(&argv[1..], &["smoke"])?;
         let command = match cmd.as_str() {
             "help" | "--help" | "-h" => Command::Help,
             "info" => {
@@ -410,6 +493,77 @@ impl Cli {
                         .ok_or("missing required option --m".to_string())?,
                     queries: opts.parse_or("queries", 500usize)?,
                     k: opts.parse_or("k", 21usize)?,
+                    seed: opts.parse_or("seed", 42u64)?,
+                    threads: parse_threads(&opts)?,
+                    fault_seed: opts.parse_opt("fault-seed")?,
+                    fault_ppm: opts.parse_opt("fault-ppm")?,
+                    retry: parse_retry(&opts)?,
+                    fault_phase_scale: parse_phase_scale(&opts)?,
+                }
+            }
+            "serve" => {
+                opts.reject_unknown(&[
+                    "data",
+                    "page-bytes",
+                    "m",
+                    "rate",
+                    "duration",
+                    "mix",
+                    "arrivals",
+                    "concurrency",
+                    "batch",
+                    "admission-budget",
+                    "queries",
+                    "k",
+                    "seed",
+                    "threads",
+                    "fault-seed",
+                    "fault-ppm",
+                    "fault-phase-scale",
+                    "retry-policy",
+                    "retry-budget",
+                    "smoke",
+                ])?;
+                // --smoke shrinks the open-loop window to CI scale while
+                // keeping every knob overridable.
+                let smoke = opts.has_flag("smoke");
+                let mix = match opts.get("mix") {
+                    None => MixSpec::default(),
+                    Some(spec) => MixSpec::parse(spec).map_err(|e| format!("option --mix: {e}"))?,
+                };
+                let arrivals = match opts.get("arrivals") {
+                    None => ArrivalModel::Fixed,
+                    Some(name) => {
+                        ArrivalModel::parse(name).map_err(|e| format!("option --arrivals: {e}"))?
+                    }
+                };
+                let concurrency: usize = opts.parse_or("concurrency", 4usize)?;
+                if concurrency == 0 {
+                    return Err("option --concurrency: must be at least 1".to_string());
+                }
+                let batch: usize = opts.parse_or("batch", 8usize)?;
+                if batch == 0 {
+                    return Err("option --batch: must be at least 1".to_string());
+                }
+                let admission_budget = match opts.get("admission-budget") {
+                    None => None,
+                    Some(_) => Some(parse_positive_or(&opts, "admission-budget", 1.0)?),
+                };
+                Command::Serve {
+                    data: opts.required("data")?,
+                    page_bytes: opts.parse_or("page-bytes", 8192usize)?,
+                    m: opts
+                        .parse_opt("m")?
+                        .ok_or("missing required option --m".to_string())?,
+                    rate: parse_positive_or(&opts, "rate", if smoke { 80.0 } else { 200.0 })?,
+                    duration: parse_positive_or(&opts, "duration", if smoke { 1.0 } else { 10.0 })?,
+                    mix,
+                    arrivals,
+                    concurrency,
+                    batch,
+                    admission_budget,
+                    queries: opts.parse_or("queries", if smoke { 24usize } else { 500 })?,
+                    k: opts.parse_or("k", if smoke { 5usize } else { 21 })?,
                     seed: opts.parse_or("seed", 42u64)?,
                     threads: parse_threads(&opts)?,
                     fault_seed: opts.parse_opt("fault-seed")?,
@@ -625,6 +779,124 @@ mod tests {
         assert!(Cli::parse(&argv("measure --data a.csv --m 10 --threads zero")).is_err());
         assert!(Cli::parse(&argv("frobnicate")).is_err());
         assert!(Cli::parse(&argv("info --data a.csv extra")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_smoke() {
+        let cli = Cli::parse(&argv("serve --data a.csv --m 400")).unwrap();
+        match cli.command {
+            Command::Serve {
+                data,
+                rate,
+                duration,
+                mix,
+                arrivals,
+                concurrency,
+                batch,
+                admission_budget,
+                queries,
+                k,
+                seed,
+                ..
+            } => {
+                assert_eq!(data, "a.csv");
+                assert_eq!(rate, 200.0);
+                assert_eq!(duration, 10.0);
+                assert_eq!(mix, MixSpec::default());
+                assert_eq!(arrivals, ArrivalModel::Fixed);
+                assert_eq!(concurrency, 4);
+                assert_eq!(batch, 8);
+                assert_eq!(admission_budget, None);
+                assert_eq!(queries, 500);
+                assert_eq!(k, 21);
+                assert_eq!(seed, 42);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // --smoke is a bare flag (no value) shrinking the defaults but
+        // keeping explicit overrides.
+        let cli = Cli::parse(&argv("serve --data a.csv --m 400 --smoke --k 3")).unwrap();
+        match cli.command {
+            Command::Serve {
+                rate,
+                duration,
+                queries,
+                k,
+                ..
+            } => {
+                assert_eq!(rate, 80.0);
+                assert_eq!(duration, 1.0);
+                assert_eq!(queries, 24);
+                assert_eq!(k, 3);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cli = Cli::parse(&argv(
+            "serve --data a.csv --m 400 --rate 50 --duration 2.5 --arrivals bursty \
+             --mix range:1.0 --concurrency 2 --batch 16 --admission-budget 0.25",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Serve {
+                rate,
+                duration,
+                mix,
+                arrivals,
+                concurrency,
+                batch,
+                admission_budget,
+                ..
+            } => {
+                assert_eq!(rate, 50.0);
+                assert_eq!(duration, 2.5);
+                assert_eq!(mix.range, 1.0);
+                assert_eq!(arrivals, ArrivalModel::Bursty);
+                assert_eq!(concurrency, 2);
+                assert_eq!(batch, 16);
+                assert_eq!(admission_budget, Some(0.25));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_invalid_rate_mix_and_knobs() {
+        let bad = [
+            // Zero/negative/non-finite rate and duration.
+            "serve --data a.csv --m 10 --rate 0",
+            "serve --data a.csv --m 10 --rate -5",
+            "serve --data a.csv --m 10 --rate nan",
+            "serve --data a.csv --m 10 --rate inf",
+            "serve --data a.csv --m 10 --duration 0",
+            "serve --data a.csv --m 10 --duration -1",
+            // Malformed mixes: bad shape, unknown class, not summing to 1.
+            "serve --data a.csv --m 10 --mix range",
+            "serve --data a.csv --m 10 --mix scan:1.0",
+            "serve --data a.csv --m 10 --mix range:0.5,knn:0.2",
+            "serve --data a.csv --m 10 --mix range:2.0,knn:-1.0",
+            // Degenerate serving knobs.
+            "serve --data a.csv --m 10 --concurrency 0",
+            "serve --data a.csv --m 10 --batch 0",
+            "serve --data a.csv --m 10 --admission-budget 0",
+            "serve --data a.csv --m 10 --threads 0",
+            "serve --data a.csv --m 10 --arrivals sinusoidal",
+            // Required options and unknown flags still enforced.
+            "serve --m 10",
+            "serve --data a.csv",
+            "serve --data a.csv --m 10 --bogus 1",
+            // --smoke is serve-only.
+            "predict --data a.csv --m 10 --smoke",
+            "info --data a.csv --smoke",
+        ];
+        for args in bad {
+            assert!(Cli::parse(&argv(args)).is_err(), "should reject: {args}");
+        }
+        // The mix error carries the field-oriented message.
+        let e = Cli::parse(&argv("serve --data a.csv --m 10 --mix range:0.5,knn")).unwrap_err();
+        assert!(e.contains("option --mix"), "{e}");
+        assert!(e.contains("field 2"), "{e}");
+        let e = Cli::parse(&argv("serve --data a.csv --m 10 --rate 0")).unwrap_err();
+        assert!(e.contains("option --rate"), "{e}");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use hdidx_diskio::measure::measure_on_disk;
 use hdidx_diskio::DiskModel;
 use hdidx_faults::{FaultConfig, FaultPhase, RetryPolicy};
 use hdidx_model::{hupper, Prediction, QueryBall};
+use hdidx_serve::{ArrivalModel, LoadGen, MixSpec, ServeConfig, Server};
 use hdidx_vamsplit::topology::{PageConfig, Topology};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -107,6 +108,44 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 *seed,
                 resolve_faults(*fault_seed, *fault_ppm, *retry, *fault_phase_scale),
             )
+        }
+        Command::Serve {
+            data,
+            page_bytes,
+            m,
+            rate,
+            duration,
+            mix,
+            arrivals,
+            concurrency,
+            batch,
+            admission_budget,
+            queries,
+            k,
+            seed,
+            threads,
+            fault_seed,
+            fault_ppm,
+            retry,
+            fault_phase_scale,
+        } => {
+            apply_threads(*threads);
+            serve(&ServeArgs {
+                data: Path::new(data),
+                page_bytes: *page_bytes,
+                m: *m,
+                rate: *rate,
+                duration: *duration,
+                mix: *mix,
+                arrivals: *arrivals,
+                concurrency: *concurrency,
+                batch: *batch,
+                admission_budget: *admission_budget,
+                queries: *queries,
+                k: *k,
+                seed: *seed,
+                faults: resolve_faults(*fault_seed, *fault_ppm, *retry, *fault_phase_scale),
+            })
         }
     }
 }
@@ -381,6 +420,93 @@ fn measure(
     Ok(out)
 }
 
+/// Bundled `serve` inputs (the command has too many knobs for a flat
+/// argument list to stay readable).
+struct ServeArgs<'a> {
+    data: &'a Path,
+    page_bytes: usize,
+    m: usize,
+    rate: f64,
+    duration: f64,
+    mix: MixSpec,
+    arrivals: ArrivalModel,
+    concurrency: usize,
+    batch: usize,
+    admission_budget: Option<f64>,
+    queries: usize,
+    k: usize,
+    seed: u64,
+    faults: Option<FaultConfig>,
+}
+
+fn serve(args: &ServeArgs<'_>) -> Result<String, String> {
+    let (dataset, topo) = load(args.data, args.page_bytes)?;
+    let workload = Workload::density_biased(&dataset, args.queries, args.k, args.seed)
+        .map_err(|e| e.to_string())?;
+    let candidates: Vec<QueryBall> = workload
+        .queries
+        .iter()
+        .map(|q| QueryBall::new(q.center.clone(), q.radius))
+        .collect();
+    let server = Server::build(&dataset, &topo, args.m, args.seed, args.faults)
+        .map_err(|e| e.to_string())?;
+    let requests = LoadGen {
+        rate_per_s: args.rate,
+        duration_s: args.duration,
+        model: args.arrivals,
+        seed: args.seed,
+    }
+    .requests(&candidates, &args.mix, args.k)
+    .map_err(|e| e.to_string())?;
+    let disk = DiskModel::paper_with_page_bytes(args.page_bytes);
+    let cfg = ServeConfig {
+        concurrency: args.concurrency,
+        batch: args.batch,
+        admission_budget_s: args.admission_budget.unwrap_or(f64::INFINITY),
+        disk,
+    };
+    let report = server
+        .run(&requests, &cfg, &hdidx_pool::Pool::current())
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serving {} requests ({} arrivals at {} req/s for {} s, mix {})",
+        report.total,
+        args.arrivals.as_str(),
+        args.rate,
+        args.duration,
+        args.mix
+    );
+    let _ = writeln!(
+        out,
+        "executed: {} | shed: {} ({:.1}%) | failed: {}",
+        report.executed,
+        report.shed,
+        100.0 * report.shed_fraction,
+        report.failed
+    );
+    match report.summary {
+        Some(s) => {
+            let _ = writeln!(
+                out,
+                "latency p50/p95/p99/max: {:.4} / {:.4} / {:.4} / {:.4} s (mean {:.4} s)",
+                s.p50_s, s.p95_s, s.p99_s, s.max_s, s.mean_s
+            );
+        }
+        None => {
+            let _ = writeln!(out, "latency: no requests executed");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "query I/O: {} | charged backoff: {:.4} s | makespan: {:.3} s",
+        report.io, report.backoff_s, report.makespan_s
+    );
+    let _ = writeln!(out, "latency digest: {:016x}", report.digest);
+    Ok(out)
+}
+
 fn compare(
     data: &Path,
     page_bytes: usize,
@@ -581,6 +707,75 @@ mod tests {
         assert!(out.contains("[degraded:"), "{out}");
         assert!(out.contains("retries"), "{out}");
         assert!(out.contains("backoff"), "{out}");
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn serve_reports_latency_and_identical_digest_across_threads() {
+        let csv = temp_csv("serve.csv");
+        run(&format!(
+            "generate --dataset texture48 --scale 0.2 --out {}",
+            csv.display()
+        ))
+        .unwrap();
+        let digest_of = |out: &str| {
+            out.lines()
+                .find_map(|l| l.strip_prefix("latency digest: "))
+                .map(str::to_string)
+                .unwrap_or_else(|| panic!("no digest line in: {out}"))
+        };
+        let base = format!(
+            "serve --data {} --m 200 --smoke --seed 5 --arrivals bursty",
+            csv.display()
+        );
+        let out1 = run(&format!("{base} --threads 1")).unwrap();
+        assert!(out1.contains("latency p50/p95/p99/max:"), "{out1}");
+        assert!(out1.contains("executed:"), "{out1}");
+        // Byte-identical latency samples at 1, 2, and 8 threads: the
+        // digest (and with it every percentile) must not move.
+        let out2 = run(&format!("{base} --threads 2")).unwrap();
+        let out8 = run(&format!("{base} --threads 8")).unwrap();
+        assert_eq!(digest_of(&out1), digest_of(&out2));
+        assert_eq!(digest_of(&out1), digest_of(&out8));
+        assert_eq!(out1, out2);
+        assert_eq!(out1, out8);
+        // A different load seed moves the digest.
+        let other = run(&format!(
+            "serve --data {} --m 200 --smoke --seed 6 --arrivals bursty --threads 2",
+            csv.display()
+        ))
+        .unwrap();
+        assert_ne!(digest_of(&out1), digest_of(&other));
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn serve_under_faults_sheds_and_stays_deterministic() {
+        let csv = temp_csv("serve_faults.csv");
+        run(&format!(
+            "generate --dataset texture48 --scale 0.2 --out {}",
+            csv.display()
+        ))
+        .unwrap();
+        let cmd = format!(
+            "serve --data {} --m 200 --smoke --seed 5 --fault-seed 3 --fault-ppm 300000 \
+             --retry-policy exponential --fault-phase-scale build:0 \
+             --admission-budget 0.05 --threads 2",
+            csv.display()
+        );
+        let a = run(&cmd).unwrap();
+        let b = run(&cmd).unwrap();
+        assert_eq!(a, b, "faulted serving must reproduce byte for byte");
+        assert!(a.contains("shed:"), "{a}");
+        let shed_pct: f64 = a
+            .lines()
+            .find(|l| l.starts_with("executed:"))
+            .and_then(|l| l.split('(').nth(1))
+            .and_then(|s| s.split('%').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no shed percentage in: {a}"));
+        assert!(shed_pct > 0.0, "budget 50 ms must shed under faults: {a}");
+        assert!(a.contains("charged backoff:"), "{a}");
         std::fs::remove_file(&csv).ok();
     }
 

@@ -255,4 +255,63 @@ mod tests {
         // Errors propagate.
         assert!(scan_knn_radii(&data, &ids, 0, &Pool::serial()).is_err());
     }
+
+    #[test]
+    fn batch_radii_empty_batch_is_ok() {
+        // An empty id batch is a valid (empty) request, not an error —
+        // even with a k that would fail on a non-empty batch, because no
+        // per-id scan ever runs.
+        let d = line_data();
+        for t in [1usize, 2, 8] {
+            assert_eq!(scan_knn_radii(&d, &[], 3, &Pool::new(t)).unwrap(), vec![]);
+            assert_eq!(scan_knn_radii(&d, &[], 0, &Pool::new(t)).unwrap(), vec![]);
+        }
+    }
+
+    #[test]
+    fn batch_radii_k_zero_fails_at_every_thread_count() {
+        let d = line_data();
+        let ids = [0u32, 3, 7];
+        for t in [1usize, 2, 8] {
+            let err = scan_knn_radii(&d, &ids, 0, &Pool::new(t)).unwrap_err();
+            assert!(err.to_string().contains('k'), "t={t}: {err}");
+        }
+    }
+
+    #[test]
+    fn batch_radii_k_beyond_n_saturates_at_farthest() {
+        // k > n: the per-id scan returns all n neighbors and the radius is
+        // the distance to the farthest point, pinned across thread counts.
+        let d = line_data();
+        let ids = [0u32, 9];
+        let mut expect = None;
+        for t in [1usize, 2, 8] {
+            let got = scan_knn_radii(&d, &ids, 25, &Pool::new(t)).unwrap();
+            // From x = 0 (and by symmetry x = 9) the farthest point is 9 away.
+            assert_eq!(got, vec![9.0, 9.0], "t={t}");
+            let prev = expect.get_or_insert_with(|| got.clone());
+            assert_eq!(&got, prev, "t={t}");
+        }
+    }
+
+    #[test]
+    fn batch_radii_duplicate_points_tie_break_is_thread_invariant() {
+        // Duplicated points create exact (distance, id) ties; the reported
+        // radius must be bitwise identical at 1, 2, and 8 threads.
+        let d = Dataset::from_flat(1, vec![1.0, 1.0, 1.0, 2.0]).unwrap();
+        let ids = [0u32, 1, 2, 3];
+        let reference = scan_knn_radii(&d, &ids, 2, &Pool::serial()).unwrap();
+        // From any of the three points at x = 1 the 2nd neighbor is another
+        // duplicate at distance 0; from x = 2 it is one of them at 1.
+        assert_eq!(reference, vec![0.0, 0.0, 0.0, 1.0]);
+        for t in [1usize, 2, 8] {
+            let got = scan_knn_radii(&d, &ids, 2, &Pool::new(t)).unwrap();
+            let bits: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+            let ref_bits: Vec<u64> = reference.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits, ref_bits, "t={t}");
+            // At k = 4 the radius from a duplicate reaches x = 2.
+            let wide = scan_knn_radii(&d, &ids, 4, &Pool::new(t)).unwrap();
+            assert_eq!(wide, vec![1.0, 1.0, 1.0, 1.0], "t={t}");
+        }
+    }
 }

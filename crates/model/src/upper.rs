@@ -9,7 +9,7 @@
 
 use crate::compensation::growth_factor;
 use hdidx_core::rng::{sample_without_replacement, seeded};
-use hdidx_core::{Dataset, Error, HyperRect, Result};
+use hdidx_core::{Dataset, Error, HyperRect, LeafSoup, Result};
 use hdidx_vamsplit::bulkload::bulk_load_upper;
 use hdidx_vamsplit::topology::Topology;
 use hdidx_vamsplit::tree::RTree;
@@ -35,6 +35,17 @@ impl UpperPhase {
     /// Number of upper-tree leaf pages (the paper's `k`).
     pub fn k(&self) -> usize {
         self.grown_leaves.len()
+    }
+
+    /// Flattens the grown leaves into a [`LeafSoup`] for the blocked
+    /// counting kernels (batch prediction, query serving).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LeafSoup::from_rects`] shape errors.
+    pub fn grown_soup(&self) -> Result<LeafSoup> {
+        let dim = self.grown_leaves.first().map_or(1, HyperRect::dim);
+        LeafSoup::from_rects(dim, &self.grown_leaves)
     }
 }
 
@@ -146,6 +157,16 @@ mod tests {
         // Every sampled point is in exactly one leaf's sample list.
         let total: usize = up.leaf_samples.iter().map(Vec::len).sum();
         assert_eq!(total, 500);
+        // The flattened soup counts exactly like the grown boxes.
+        let soup = up.grown_soup().unwrap();
+        assert_eq!(soup.len(), up.k());
+        let q = data.point(0);
+        let scalar = up
+            .grown_leaves
+            .iter()
+            .filter(|r| r.mindist2(q) <= 0.09)
+            .count() as u64;
+        assert_eq!(soup.count_intersecting(q, 0.09), scalar);
     }
 
     #[test]

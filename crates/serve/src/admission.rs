@@ -1,0 +1,157 @@
+//! Backoff-budget admission control.
+//!
+//! The server charges every retry backoff it performs (in simulated
+//! seconds) into a sliding window. When the window's total charged backoff
+//! exceeds the configured budget, the controller sheds the next batch
+//! instead of admitting it — the standard load-shedding move: under fault
+//! pressure it is better to refuse work outright than to queue it behind
+//! retries and blow the tail.
+//!
+//! Shedding also *drains* part of the window, so pressure ages out and the
+//! server recovers once faults subside instead of shedding forever. All
+//! decisions are functions of the request stream and fault plan only —
+//! never of wall-clock time or thread scheduling — so shed decisions are
+//! deterministic and thread-count independent.
+
+use std::collections::VecDeque;
+
+/// Number of most-recent backoff charges the sliding window retains.
+const WINDOW_CAP: usize = 64;
+
+/// Sliding-window admission controller.
+#[derive(Debug, Clone)]
+pub struct AdmissionControl {
+    /// Backoff budget in simulated seconds; `f64::INFINITY` disables
+    /// shedding entirely.
+    budget_s: f64,
+    /// Most recent charged backoffs, oldest first.
+    window: VecDeque<f64>,
+    admitted: u64,
+    shed: u64,
+}
+
+impl AdmissionControl {
+    /// Controller with the given window budget (seconds). Pass
+    /// `f64::INFINITY` to disable shedding.
+    #[must_use]
+    pub fn new(budget_s: f64) -> Self {
+        AdmissionControl {
+            budget_s,
+            window: VecDeque::with_capacity(WINDOW_CAP),
+            admitted: 0,
+            shed: 0,
+        }
+    }
+
+    /// Current charged backoff in the window, in seconds.
+    #[must_use]
+    pub fn window_backoff_s(&self) -> f64 {
+        self.window.iter().sum()
+    }
+
+    /// Decides whether to admit a batch of `size` requests. On shed, the
+    /// batch is counted and the oldest half-window of charges is drained so
+    /// the server can recover once pressure subsides.
+    pub fn admit_batch(&mut self, size: usize) -> bool {
+        if self.budget_s.is_finite() && self.window_backoff_s() > self.budget_s {
+            self.shed += size as u64;
+            // Drain the older half of the window; repeated sheds therefore
+            // clear pressure in O(log) batches rather than shedding forever.
+            let drain = self.window.len().div_ceil(2);
+            self.window.drain(..drain);
+            false
+        } else {
+            self.admitted += size as u64;
+            true
+        }
+    }
+
+    /// Charges the backoff incurred by one executed request into the
+    /// sliding window (zero charges are kept too: they age out old
+    /// pressure as healthy requests flow).
+    pub fn observe(&mut self, backoff_s: f64) {
+        if self.window.len() == WINDOW_CAP {
+            self.window.pop_front();
+        }
+        self.window.push_back(backoff_s);
+    }
+
+    /// Requests admitted so far.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Requests shed so far.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Fraction of offered requests shed (0 when nothing was offered).
+    #[must_use]
+    pub fn shed_fraction(&self) -> f64 {
+        let total = self.admitted + self.shed;
+        if total == 0 {
+            0.0
+        } else {
+            self.shed as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_budget_never_sheds() {
+        let mut ac = AdmissionControl::new(f64::INFINITY);
+        for _ in 0..1000 {
+            assert!(ac.admit_batch(4));
+            ac.observe(1e9);
+        }
+        assert_eq!(ac.shed(), 0);
+        assert_eq!(ac.admitted(), 4000);
+        assert_eq!(ac.shed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sheds_over_budget_and_recovers_by_draining() {
+        let mut ac = AdmissionControl::new(1.0);
+        assert!(ac.admit_batch(8), "empty window admits");
+        ac.observe(0.7);
+        ac.observe(0.7);
+        // Window now holds 1.4 s > 1.0 s budget.
+        assert!(!ac.admit_batch(8));
+        assert_eq!(ac.shed(), 8);
+        // The shed drained half the window (0.7 s <= budget) -> admits again.
+        assert!(ac.admit_batch(8));
+        assert_eq!(ac.admitted(), 16);
+        let expect = 8.0 / 24.0;
+        assert!((ac.shed_fraction() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn healthy_traffic_ages_out_old_pressure() {
+        let mut ac = AdmissionControl::new(0.5);
+        ac.observe(10.0);
+        assert!(!ac.admit_batch(1), "pressure sheds");
+        // After the shed drain the window is empty; zero-backoff charges
+        // from healthy requests keep it clean.
+        for _ in 0..WINDOW_CAP {
+            assert!(ac.admit_batch(1));
+            ac.observe(0.0);
+        }
+        assert!(ac.window_backoff_s().abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut ac = AdmissionControl::new(f64::INFINITY);
+        for _ in 0..(WINDOW_CAP * 3) {
+            ac.observe(0.25);
+        }
+        assert!((ac.window_backoff_s() - WINDOW_CAP as f64 * 0.25).abs() < 1e-9);
+    }
+}

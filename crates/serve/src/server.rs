@@ -1,0 +1,485 @@
+//! The serving engine: a built index executing typed request batches on
+//! simulated time.
+//!
+//! # Request path
+//!
+//! A [`Server`] owns the bulk-loaded index (leaf boxes flattened into a
+//! [`LeafSoup`] for the blocked counting kernels) plus the grown upper
+//! tree of the paper's sampled cost predictor. Requests arrive in batches;
+//! each admitted batch fans out over the [`Pool`] with per-query panic
+//! isolation ([`Pool::par_map_isolated`]), then a single-threaded
+//! accounting pass advances simulated time. Nothing about latency or fault
+//! injection depends on which OS thread ran a query, so the whole run is
+//! byte-identical at any `HDIDX_THREADS`.
+//!
+//! # Simulated time
+//!
+//! Latency is composed, never measured: each executed query charges its
+//! page accesses (directory descent + leaf reads, all random I/O) plus any
+//! fault-retry backoff through [`DiskModel::cost_seconds`]. The server is
+//! modeled as `concurrency` identical slots; a batch is dispatched to the
+//! earliest-free slot once its last request has arrived, and its queries
+//! complete sequentially on that slot. A request's latency is its
+//! completion time minus its arrival time — queueing delay is where open
+//! loops grow tails, and it falls out of the slot algebra for free.
+
+use crate::admission::AdmissionControl;
+use crate::latency::{LatencyRecorder, LatencySummary};
+use crate::request::{Query, Request};
+use hdidx_core::knn::scan_knn_radius;
+use hdidx_core::{Dataset, LeafSoup, Result};
+use hdidx_diskio::disk::Disk;
+use hdidx_diskio::external::{build_on_disk, ExternalConfig};
+use hdidx_diskio::model::{DiskModel, IoStats};
+use hdidx_faults::{FaultConfig, FaultPhase, FaultPlan};
+use hdidx_model::hupper::recommended_h_upper;
+use hdidx_model::upper::build_upper_phase;
+use hdidx_pool::Pool;
+use hdidx_vamsplit::topology::Topology;
+use hdidx_vamsplit::tree::RTree;
+
+/// Per-run serving knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Number of parallel service slots in the simulated server.
+    pub concurrency: usize,
+    /// Requests dispatched per batch.
+    pub batch: usize,
+    /// Admission backoff budget in simulated seconds
+    /// (`f64::INFINITY` disables shedding).
+    pub admission_budget_s: f64,
+    /// Disk cost model that converts I/O counts into seconds.
+    pub disk: DiskModel,
+}
+
+impl ServeConfig {
+    /// Default knobs: 4 slots, batches of 8, shedding disabled, the
+    /// paper's disk.
+    #[must_use]
+    pub fn new() -> ServeConfig {
+        ServeConfig {
+            concurrency: 4,
+            batch: 8,
+            admission_budget_s: f64::INFINITY,
+            disk: DiskModel::PAPER,
+        }
+    }
+
+    /// Checks the knobs: at least one slot, at least one request per
+    /// batch, a positive admission budget.
+    ///
+    /// # Errors
+    ///
+    /// [`hdidx_core::Error::InvalidParameter`] describing the violation.
+    pub fn validate(&self) -> Result<()> {
+        use hdidx_core::Error;
+        if self.concurrency == 0 {
+            return Err(Error::invalid("concurrency", "must be at least 1"));
+        }
+        if self.batch == 0 {
+            return Err(Error::invalid("batch", "must be at least 1"));
+        }
+        if self.admission_budget_s.is_nan() || self.admission_budget_s <= 0.0 {
+            return Err(Error::invalid(
+                "admission-budget",
+                format!(
+                    "must be positive (or infinite to disable), got {}",
+                    self.admission_budget_s
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::new()
+    }
+}
+
+/// Outcome of executing one request (before time accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ExecResult {
+    /// Leaf pages the query read (or would read).
+    leaf_accesses: u64,
+    /// I/O charged, including fault retries and backoff.
+    io: IoStats,
+    /// False when the query failed (exhausted retries or panicked).
+    ok: bool,
+}
+
+impl ExecResult {
+    fn failed() -> ExecResult {
+        ExecResult {
+            leaf_accesses: 0,
+            io: IoStats::default(),
+            ok: false,
+        }
+    }
+}
+
+/// Aggregate outcome of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Requests offered by the load generator.
+    pub total: u64,
+    /// Requests admitted and executed.
+    pub executed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Executed requests that failed (retry exhaustion or worker panic).
+    pub failed: u64,
+    /// Per-query latency samples (simulated seconds), completion order.
+    pub samples: Vec<f64>,
+    /// Exact nearest-rank percentile summary (`None` when nothing ran).
+    pub summary: Option<LatencySummary>,
+    /// Total I/O charged across all executed requests.
+    pub io: IoStats,
+    /// Total charged retry backoff, in simulated seconds.
+    pub backoff_s: f64,
+    /// Simulated completion time of the last request.
+    pub makespan_s: f64,
+    /// Fraction of offered requests shed.
+    pub shed_fraction: f64,
+    /// FNV-1a digest of the latency sample stream (byte-identity check).
+    pub digest: u64,
+}
+
+/// A query server over a built index.
+///
+/// Holds the dataset by reference, the bulk-loaded tree, the SoA leaf soup
+/// the range/k-NN path counts against, and the grown upper-tree soup the
+/// predict path counts against.
+#[derive(Debug, Clone)]
+pub struct Server<'a> {
+    data: &'a Dataset,
+    tree: RTree,
+    leaf_soup: LeafSoup,
+    predict_soup: LeafSoup,
+    build_io: IoStats,
+    faults: Option<FaultConfig>,
+    height: usize,
+}
+
+impl<'a> Server<'a> {
+    /// Builds the on-disk index under the external-memory builder (with
+    /// `m` points of working memory), flattens its leaves, and builds the
+    /// grown upper tree at the recommended cut for the same budget. With
+    /// `faults` set, the build itself runs under the plan's build phase
+    /// and queries will replay through per-request query-phase plans.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder and upper-phase errors (shape mismatches,
+    /// infeasible `m`).
+    pub fn build(
+        data: &'a Dataset,
+        topo: &Topology,
+        m: usize,
+        seed: u64,
+        faults: Option<FaultConfig>,
+    ) -> Result<Server<'a>> {
+        let cfg = ExternalConfig::with_mem_points(m)?.with_faults(faults);
+        let built = build_on_disk(data, topo, &cfg)?;
+        let leaf_soup = LeafSoup::from_rects(topo.dim(), &built.tree.leaf_rects())?;
+        let h_upper = recommended_h_upper(topo, m)?;
+        let up = build_upper_phase(data, topo, m, h_upper, seed)?;
+        let predict_soup = up.grown_soup()?;
+        let height = built.tree.height();
+        Ok(Server {
+            data,
+            tree: built.tree,
+            leaf_soup,
+            predict_soup,
+            build_io: built.io,
+            faults,
+            height,
+        })
+    }
+
+    /// The bulk-loaded index.
+    #[must_use]
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    /// I/O consumed building the index (including build-phase faults).
+    #[must_use]
+    pub fn build_io(&self) -> IoStats {
+        self.build_io
+    }
+
+    /// Executes one request: resolves its leaf-access count through the
+    /// counting kernels, then charges the page accesses (directory descent
+    /// plus leaves, all random I/O) — through a per-request fault plan when
+    /// faults are configured.
+    fn execute(&self, req: &Request) -> ExecResult {
+        let (leaf_accesses, disk_backed) = match &req.query {
+            Query::Range { center, radius } => (
+                self.leaf_soup.count_intersecting(center, radius * radius),
+                true,
+            ),
+            Query::Knn { center, k } => match scan_knn_radius(self.data, center, *k) {
+                Ok(r) => (self.leaf_soup.count_intersecting(center, r * r), true),
+                Err(_) => return ExecResult::failed(),
+            },
+            // The paper's sampled estimate is entirely in-memory: count
+            // against the grown upper leaves, charge no I/O.
+            Query::Predict { center, radius } => (
+                self.predict_soup
+                    .count_intersecting(center, radius * radius),
+                false,
+            ),
+        };
+        if !disk_backed {
+            return ExecResult {
+                leaf_accesses,
+                io: IoStats::default(),
+                ok: true,
+            };
+        }
+        // Every accessed page — (height - 1) directory pages on the
+        // descent plus the leaves — is one random access, matching the
+        // on-disk measurement model.
+        let pages = leaf_accesses + (self.height.saturating_sub(1)) as u64;
+        match self.faults {
+            None => ExecResult {
+                leaf_accesses,
+                io: IoStats::random(pages),
+                ok: true,
+            },
+            Some(fcfg) => {
+                // Replay the random accesses through a scratch disk whose
+                // fault plan is derived from the request id: which pages
+                // fault is a pure function of (fault seed, request id),
+                // never of scheduling. Alternating between two
+                // non-adjacent pages makes each access cost exactly one
+                // seek and one transfer, identical to `IoStats::random`,
+                // while `Disk::access` retry accounting applies unchanged.
+                let mut disk = Disk::new();
+                disk.set_fault_plan(Some(FaultPlan::new(
+                    fcfg.for_phase(FaultPhase::Query).derived(req.id),
+                )));
+                let file = match disk.alloc(4) {
+                    Ok(f) => f,
+                    Err(_) => return ExecResult::failed(),
+                };
+                let mut flip = 0u64;
+                let mut ok = true;
+                for _ in 0..pages {
+                    if disk.access(&file, flip, 1).is_err() {
+                        // Retries exhausted: the request fails, but the
+                        // seeks and backoff already burned stay charged.
+                        ok = false;
+                        break;
+                    }
+                    flip = 2 - flip;
+                }
+                ExecResult {
+                    leaf_accesses,
+                    io: disk.stats(),
+                    ok,
+                }
+            }
+        }
+    }
+
+    /// Serves an arrival-ordered request stream and accounts latency on
+    /// simulated time (see the module docs for the queueing model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeConfig::validate`].
+    pub fn run(&self, requests: &[Request], cfg: &ServeConfig, pool: &Pool) -> Result<ServeReport> {
+        cfg.validate()?;
+        let mut admission = AdmissionControl::new(cfg.admission_budget_s);
+        let mut recorder = LatencyRecorder::new();
+        let mut free_at = vec![0.0f64; cfg.concurrency];
+        let mut io = IoStats::default();
+        let mut failed = 0u64;
+        let mut makespan_s = 0.0f64;
+        for batch in requests.chunks(cfg.batch) {
+            // The admission decision precedes execution and depends only
+            // on the window state left by earlier batches — deterministic
+            // because batches are accounted in arrival order.
+            if !admission.admit_batch(batch.len()) {
+                continue;
+            }
+            let results = pool.par_map_isolated(batch, |req| self.execute(req));
+            // Single-threaded time accounting: dispatch the batch to the
+            // earliest-free slot (lowest index on ties) once its last
+            // request has arrived.
+            let ready = batch.last().map_or(0.0, |r| r.arrival_s);
+            let slot = (0..free_at.len())
+                .min_by(|&a, &b| free_at[a].total_cmp(&free_at[b]))
+                .unwrap_or(0);
+            let mut t = free_at[slot].max(ready);
+            for (req, res) in batch.iter().zip(results) {
+                // A worker panic is a failed request, not a failed run.
+                let res = res.unwrap_or_else(|_| ExecResult::failed());
+                t += cfg.disk.cost_seconds(res.io);
+                recorder.record(t - req.arrival_s);
+                admission.observe(res.io.backoff as f64 * cfg.disk.t_seek_s);
+                io += res.io;
+                if !res.ok {
+                    failed += 1;
+                }
+            }
+            free_at[slot] = t;
+            makespan_s = makespan_s.max(t);
+        }
+        Ok(ServeReport {
+            total: requests.len() as u64,
+            executed: admission.admitted(),
+            shed: admission.shed(),
+            failed,
+            summary: recorder.summary(),
+            digest: recorder.digest(),
+            samples: recorder.samples().to_vec(),
+            io,
+            backoff_s: io.backoff as f64 * cfg.disk.t_seek_s,
+            makespan_s,
+            shed_fraction: admission.shed_fraction(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::{ArrivalModel, LoadGen};
+    use crate::request::MixSpec;
+    use hdidx_core::rng::{seeded, Rng};
+
+    fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = seeded(seed);
+        Dataset::from_flat(dim, (0..n * dim).map(|_| rng.gen::<f32>()).collect()).unwrap()
+    }
+
+    fn fixture() -> (Dataset, Topology) {
+        let data = random_dataset(2000, 4, 61);
+        let topo = Topology::from_capacities(4, 2000, 10, 5).unwrap();
+        (data, topo)
+    }
+
+    fn stream(data: &Dataset, seed: u64) -> Vec<Request> {
+        let candidates: Vec<hdidx_model::QueryBall> = (0..16)
+            .map(|i| hdidx_model::QueryBall::new(data.point(i * 100).to_vec(), 0.3))
+            .collect();
+        LoadGen {
+            rate_per_s: 400.0,
+            duration_s: 0.5,
+            model: ArrivalModel::Bursty,
+            seed,
+        }
+        .requests(&candidates, &MixSpec::default(), 5)
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_a_stream_and_reports_latencies() {
+        let (data, topo) = fixture();
+        let server = Server::build(&data, &topo, 400, 7, None).unwrap();
+        let reqs = stream(&data, 7);
+        let report = server
+            .run(&reqs, &ServeConfig::new(), &Pool::serial())
+            .unwrap();
+        assert_eq!(report.total, reqs.len() as u64);
+        assert_eq!(report.executed, report.total);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.samples.len(), reqs.len());
+        let s = report.summary.unwrap();
+        assert!(s.p50_s >= 0.0 && s.p50_s <= s.p95_s && s.p95_s <= s.p99_s);
+        assert!(s.max_s <= report.makespan_s + 1e-12);
+        // All latencies non-negative; disk-backed queries charge I/O.
+        assert!(report.samples.iter().all(|&l| l >= 0.0));
+        assert!(report.io.seeks > 0);
+        assert_eq!(report.backoff_s, 0.0);
+    }
+
+    #[test]
+    fn more_slots_cannot_increase_latency() {
+        let (data, topo) = fixture();
+        let server = Server::build(&data, &topo, 400, 7, None).unwrap();
+        let reqs = stream(&data, 8);
+        let pool = Pool::serial();
+        let narrow = server
+            .run(
+                &reqs,
+                &ServeConfig {
+                    concurrency: 1,
+                    ..ServeConfig::new()
+                },
+                &pool,
+            )
+            .unwrap();
+        let wide = server
+            .run(
+                &reqs,
+                &ServeConfig {
+                    concurrency: 8,
+                    ..ServeConfig::new()
+                },
+                &pool,
+            )
+            .unwrap();
+        let (n, w) = (narrow.summary.unwrap(), wide.summary.unwrap());
+        assert!(w.p99_s <= n.p99_s + 1e-12, "wide {w:?} vs narrow {n:?}");
+        assert!(w.mean_s <= n.mean_s + 1e-12);
+        // Same work, same I/O — only queueing changes.
+        assert_eq!(narrow.io, wide.io);
+    }
+
+    #[test]
+    fn faulted_serving_shelters_determinism_and_sheds() {
+        let (data, topo) = fixture();
+        let fcfg = FaultConfig::disabled(3)
+            .with_rate_ppm(300_000)
+            .with_retry(hdidx_faults::RetryPolicy::Exponential)
+            .with_phase_scale(FaultPhase::Build, 0);
+        let server = Server::build(&data, &topo, 400, 7, Some(fcfg)).unwrap();
+        let reqs = stream(&data, 9);
+        let cfg = ServeConfig {
+            admission_budget_s: 0.05,
+            ..ServeConfig::new()
+        };
+        let pool = Pool::serial();
+        let a = server.run(&reqs, &cfg, &pool).unwrap();
+        let b = server.run(&reqs, &cfg, &pool).unwrap();
+        assert_eq!(a, b, "faulted serving must be reproducible");
+        assert!(a.io.retries > 0, "fault rate must trigger retries");
+        assert!(a.backoff_s > 0.0);
+        assert!(a.shed > 0, "budget 50 ms must shed under this fault rate");
+        assert!(a.shed_fraction > 0.0);
+        assert_eq!(a.executed + a.shed, a.total);
+        // Shed requests record no latency.
+        assert_eq!(a.samples.len() as u64, a.executed);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let (data, topo) = fixture();
+        let server = Server::build(&data, &topo, 400, 7, None).unwrap();
+        let reqs = stream(&data, 7);
+        let pool = Pool::serial();
+        let bad = |cfg: ServeConfig| server.run(&reqs, &cfg, &pool).is_err();
+        assert!(bad(ServeConfig {
+            concurrency: 0,
+            ..ServeConfig::new()
+        }));
+        assert!(bad(ServeConfig {
+            batch: 0,
+            ..ServeConfig::new()
+        }));
+        assert!(bad(ServeConfig {
+            admission_budget_s: 0.0,
+            ..ServeConfig::new()
+        }));
+        assert!(bad(ServeConfig {
+            admission_budget_s: f64::NAN,
+            ..ServeConfig::new()
+        }));
+    }
+}

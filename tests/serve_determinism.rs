@@ -1,0 +1,127 @@
+//! Serving-subsystem contract: a fixed request stream produces
+//! **byte-identical** latency samples, summaries and I/O totals at every
+//! thread count — with and without fault injection — because arrivals,
+//! fault plans and simulated time are pure functions of the request
+//! stream, never of scheduling.
+
+use hdidx_repro::core::rng::{seeded, Rng};
+use hdidx_repro::core::Dataset;
+use hdidx_repro::faults::{FaultConfig, FaultPhase, RetryPolicy};
+use hdidx_repro::model::QueryBall;
+use hdidx_repro::pool::Pool;
+use hdidx_repro::serve::{ArrivalModel, LoadGen, MixSpec, ServeConfig, ServeReport, Server};
+use hdidx_repro::vamsplit::topology::Topology;
+
+const THREAD_COUNTS: &[usize] = &[1, 2, 8];
+
+fn clustered_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = seeded(seed);
+    let data: Vec<f32> = (0..n * dim)
+        .map(|i| {
+            let cluster = ((i / dim) % 5) as f32 * 0.17;
+            cluster + 0.1 * rng.gen::<f32>()
+        })
+        .collect();
+    Dataset::from_flat(dim, data).unwrap()
+}
+
+fn candidates(data: &Dataset, count: usize) -> Vec<QueryBall> {
+    (0..count)
+        .map(|i| QueryBall::new(data.point(i * 97).to_vec(), 0.2 + 0.01 * i as f64))
+        .collect()
+}
+
+fn assert_reports_identical(a: &ServeReport, b: &ServeReport, label: &str) {
+    let bits = |s: &[f64]| s.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(bits(&a.samples), bits(&b.samples), "{label}: samples");
+    assert_eq!(a.digest, b.digest, "{label}: digest");
+    assert_eq!(a.summary, b.summary, "{label}: summary");
+    assert_eq!(a.io, b.io, "{label}: io");
+    assert_eq!(
+        (a.total, a.executed, a.shed, a.failed),
+        (b.total, b.executed, b.shed, b.failed),
+        "{label}: counts"
+    );
+    assert_eq!(
+        a.backoff_s.to_bits(),
+        b.backoff_s.to_bits(),
+        "{label}: backoff"
+    );
+    assert_eq!(
+        a.makespan_s.to_bits(),
+        b.makespan_s.to_bits(),
+        "{label}: makespan"
+    );
+}
+
+/// Clean serving (both arrival models) is bitwise thread-invariant.
+#[test]
+fn clean_serving_is_byte_identical_for_any_thread_count() {
+    let data = clustered_dataset(3_000, 4, 61);
+    let topo = Topology::from_capacities(4, 3_000, 10, 5).unwrap();
+    let balls = candidates(&data, 20);
+    let server = Server::build(&data, &topo, 500, 7, None).unwrap();
+    let cfg = ServeConfig {
+        concurrency: 3,
+        batch: 4,
+        ..ServeConfig::new()
+    };
+    for model in [ArrivalModel::Fixed, ArrivalModel::Bursty] {
+        let gen = LoadGen {
+            rate_per_s: 300.0,
+            duration_s: 0.4,
+            model,
+            seed: 11,
+        };
+        let requests = gen.requests(&balls, &MixSpec::default(), 5).unwrap();
+        assert!(!requests.is_empty());
+        let reference = server.run(&requests, &cfg, &Pool::serial()).unwrap();
+        assert_eq!(reference.executed, reference.total);
+        assert_eq!(reference.samples.len(), reference.executed as usize);
+        for &t in THREAD_COUNTS {
+            let report = server.run(&requests, &cfg, &Pool::new(t)).unwrap();
+            assert_reports_identical(&reference, &report, &format!("{} t={t}", model.as_str()));
+        }
+    }
+}
+
+/// Faulted serving with an exponential-backoff retry policy and a tight
+/// admission budget sheds load — and still reproduces bitwise at every
+/// thread count, because per-request fault plans derive from request ids.
+#[test]
+fn faulted_serving_is_byte_identical_and_sheds() {
+    let data = clustered_dataset(3_000, 4, 62);
+    let topo = Topology::from_capacities(4, 3_000, 10, 5).unwrap();
+    let balls = candidates(&data, 20);
+    let fcfg = FaultConfig::disabled(9)
+        .with_rate_ppm(300_000)
+        .with_retry(RetryPolicy::Exponential)
+        .with_phase_scale(FaultPhase::Build, 0);
+    let server = Server::build(&data, &topo, 500, 7, Some(fcfg)).unwrap();
+    let gen = LoadGen {
+        rate_per_s: 400.0,
+        duration_s: 0.5,
+        model: ArrivalModel::Bursty,
+        seed: 13,
+    };
+    let requests = gen.requests(&balls, &MixSpec::default(), 5).unwrap();
+    let cfg = ServeConfig {
+        concurrency: 2,
+        batch: 4,
+        admission_budget_s: 0.05,
+        ..ServeConfig::new()
+    };
+    let reference = server.run(&requests, &cfg, &Pool::serial()).unwrap();
+    assert!(reference.shed > 0, "tight budget must shed load");
+    assert!(reference.io.retries > 0, "faults must force retries");
+    assert!(
+        reference.backoff_s > 0.0,
+        "exponential retry charges backoff"
+    );
+    assert_eq!(reference.executed + reference.shed, reference.total);
+    assert_eq!(reference.samples.len(), reference.executed as usize);
+    for &t in THREAD_COUNTS {
+        let report = server.run(&requests, &cfg, &Pool::new(t)).unwrap();
+        assert_reports_identical(&reference, &report, &format!("faulted t={t}"));
+    }
+}
