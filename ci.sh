@@ -76,4 +76,22 @@ echo "==> serve_sweep --smoke (tail-latency experiment)"
 HDIDX_BENCH_OUT="$PWD/target/bench-smoke" \
   cargo run -q --release -p hdidx-bench --bin serve_sweep --offline -- --smoke
 
+# File-backend smoke leg: the full persistence path through the CLI —
+# build on the file-backed page store, persist + fsync the snapshot,
+# reopen it and serve from the loaded tree. The store lives in a scratch
+# tempdir that is removed on exit however the script ends.
+echo "==> hdidx measure/serve --backend file (build -> fsync -> reopen -> serve)"
+FILE_STORE_DIR="$(mktemp -d)"
+trap 'rm -rf "${FILE_STORE_DIR}"' EXIT
+cargo run -q --release -p hdidx-cli --offline -- measure \
+  --data target/bench-smoke/t48.csv --m 200 --queries 10 --k 5 \
+  --backend file --store "${FILE_STORE_DIR}" --durability per-batch
+cargo run -q --release -p hdidx-cli --offline -- serve \
+  --data target/bench-smoke/t48.csv --m 200 --smoke --seed 5 \
+  --backend file --store "${FILE_STORE_DIR}" --durability every-8
+
+echo "==> persist_roundtrip --smoke (charged vs wall clock per durability mode)"
+HDIDX_BENCH_OUT="$PWD/target/bench-smoke" \
+  cargo run -q --release -p hdidx-bench --bin persist_roundtrip --offline -- --smoke
+
 echo "CI green."

@@ -4,8 +4,8 @@
 //! latency, not wall time). Results land in `BENCH_faults.json`.
 
 use hdidx_check::bench::{black_box, BenchSuite};
-use hdidx_diskio::Disk;
-use hdidx_faults::{BurstConfig, FaultConfig, FaultPlan, RetryPolicy};
+use hdidx_diskio::{Disk, DiskOptions};
+use hdidx_faults::{BurstConfig, FaultConfig, RetryPolicy};
 
 const SCAN_PAGES: u64 = 4096;
 const CHUNK: u64 = 64;
@@ -13,8 +13,7 @@ const CHUNK: u64 = 64;
 /// Chunked scan of `SCAN_PAGES` pages, tolerating exhausted accesses
 /// (counts them instead of propagating).
 fn scan(plan: Option<FaultConfig>) -> (u64, u64) {
-    let mut disk = Disk::new();
-    disk.set_fault_plan(plan.map(FaultPlan::new));
+    let mut disk = Disk::with_options(&DiskOptions::new().fault_plan(plan));
     let file = disk.alloc(SCAN_PAGES).unwrap();
     let mut lost = 0u64;
     let mut p = 0u64;

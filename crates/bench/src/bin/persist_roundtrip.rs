@@ -1,0 +1,215 @@
+//! **Persistence round trip**: build the COLOR64 index on the file-backed
+//! page store, persist the tree to a checksummed snapshot, reopen it
+//! after a simulated process death, and serve the same request stream
+//! from the loaded tree — once per WAL durability mode.
+//!
+//! Every row compares the **charged-model seconds** (the paper's disk
+//! bill, identical on every backend by construction) with the
+//! **wall-clock seconds** the real files took, separating the analytical
+//! cost model from the fsync cadence actually paid: `per-batch` syncs the
+//! WAL on every commit, `every-8` amortizes it, `none` leaves durability
+//! to the checkpoint. The serve digest of the reopened server must equal
+//! the sim-built baseline's — persistence is not allowed to change a
+//! single answer.
+//!
+//! Rows are printed to stdout **and** written to `BENCH_persist.json` in
+//! `HDIDX_BENCH_OUT` (default: current directory). `--smoke` shrinks the
+//! stream for CI.
+
+use hdidx_bench::{ExpArgs, ExperimentContext};
+use hdidx_datagen::registry::NamedDataset;
+use hdidx_diskio::external::{build_on_disk_in, ExternalConfig};
+use hdidx_diskio::{DiskModel, DiskOptions, IoStats, PageStore};
+use hdidx_pool::Pool;
+use hdidx_serve::{ArrivalModel, LoadGen, MixSpec, ServeConfig, Server};
+use hdidx_store::{load_index, persist_index, Durability, FileStore, PAGE_BYTES};
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// One durability mode's measured round trip.
+struct Row {
+    durability: Durability,
+    pages: u64,
+    snapshot_bytes: u64,
+    build_wall_s: f64,
+    build_charged_s: f64,
+    persist_wall_s: f64,
+    persist_charged_s: f64,
+    reopen_wall_s: f64,
+    reopen_charged_s: f64,
+    digest: u64,
+    matches_sim: bool,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "{{\"durability\":\"{}\",\"pages\":{},\"snapshot_bytes\":{},\
+             \"build_wall_s\":{:.6},\"build_charged_s\":{:.6},\
+             \"persist_wall_s\":{:.6},\"persist_charged_s\":{:.6},\
+             \"reopen_wall_s\":{:.6},\"reopen_charged_s\":{:.6},\
+             \"digest\":\"{:016x}\",\"matches_sim\":{}}}",
+            self.durability,
+            self.pages,
+            self.snapshot_bytes,
+            self.build_wall_s,
+            self.build_charged_s,
+            self.persist_wall_s,
+            self.persist_charged_s,
+            self.reopen_wall_s,
+            self.reopen_charged_s,
+            self.digest,
+            self.matches_sim,
+        )
+    }
+}
+
+fn charged(disk: &DiskModel, io: IoStats) -> f64 {
+    disk.cost_seconds(io)
+}
+
+fn main() {
+    let mut args = ExpArgs::parse(0.25, 120);
+    args.banner("Persistence round trip: charged vs wall seconds per durability mode (COLOR64)");
+    if args.smoke {
+        args.queries = args.queries.min(24);
+        args.k = args.k.min(9);
+    }
+    let ctx = ExperimentContext::prepare(NamedDataset::Color64, &args).expect("prepare");
+    let disk = DiskModel::paper_with_page_bytes(NamedDataset::Color64.page_bytes());
+    let m = ((ctx.data.len() as f64 * 0.0363) as usize).max(ctx.topo.cap_data() * 4);
+    println!(
+        "dataset: {} ({} x {}), m = {m}",
+        ctx.name,
+        ctx.data.len(),
+        ctx.data.dim()
+    );
+
+    // The request stream every server answers, and the sim-built baseline
+    // digest the reopened servers must reproduce.
+    let gen = LoadGen {
+        rate_per_s: if args.smoke { 120.0 } else { 24.0 },
+        duration_s: if args.smoke { 1.0 } else { 10.0 },
+        model: ArrivalModel::Bursty,
+        seed: args.seed,
+    };
+    let mix = MixSpec::default();
+    let requests = gen
+        .requests(&ctx.balls, &mix, args.k)
+        .expect("request stream");
+    let serve_cfg = ServeConfig {
+        concurrency: 4,
+        batch: 8,
+        admission_budget_s: f64::INFINITY,
+        disk,
+    };
+    let pool = Pool::current();
+    let baseline = Server::build(&ctx.data, &ctx.topo, m, args.seed, None)
+        .expect("sim build")
+        .run(&requests, &serve_cfg, &pool)
+        .expect("sim serve");
+    println!(
+        "stream: {} requests | sim baseline digest {:016x}\n",
+        requests.len(),
+        baseline.digest
+    );
+
+    let root = std::env::temp_dir().join(format!("hdidx_persist_rt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let cfg = ExternalConfig::with_mem_points(m).expect("memory budget");
+
+    let mut rows = Vec::new();
+    for durability in Durability::SWEEP {
+        let dir = root.join(format!("{durability}"));
+        let scratch = dir.join("scratch");
+        let index = dir.join("index");
+
+        // Build on the file backend (pattern-only accounting: the model
+        // disk is charged, no payload bytes move yet).
+        let clock = Instant::now();
+        let mut store =
+            FileStore::open(&scratch, durability, &DiskOptions::new()).expect("open scratch");
+        let built = build_on_disk_in(&mut store, &ctx.data, &ctx.topo, &cfg).expect("build");
+        let build_wall_s = clock.elapsed().as_secs_f64();
+        drop(store);
+
+        // Persist: every page rides a WAL batch under this mode's fsync
+        // cadence, then the checkpoint fsyncs the page file.
+        let clock = Instant::now();
+        let mut snap = FileStore::open(&index, durability, &DiskOptions::new()).expect("open snap");
+        persist_index(&mut snap, &built.tree).expect("persist");
+        let persist_wall_s = clock.elapsed().as_secs_f64();
+        let persist_io = snap.stats();
+        let pages = snap.pages();
+        drop(snap); // process death; the snapshot must be on the platter
+
+        // Reopen, load, re-serve.
+        let clock = Instant::now();
+        let mut snap = FileStore::open(&index, durability, &DiskOptions::new()).expect("reopen");
+        let (tree, _) = load_index(&mut snap).expect("load");
+        let reopen_wall_s = clock.elapsed().as_secs_f64();
+        let reopen_io = snap.stats();
+        assert_eq!(tree, built.tree, "snapshot must load back identical");
+        let server = Server::from_tree(
+            &ctx.data,
+            &ctx.topo,
+            tree,
+            m,
+            args.seed,
+            None,
+            built.io + reopen_io,
+        )
+        .expect("server from snapshot");
+        let report = server.run(&requests, &serve_cfg, &pool).expect("re-serve");
+
+        let snapshot_bytes = std::fs::metadata(index.join("pages.db"))
+            .map(|md| md.len())
+            .unwrap_or(0);
+        assert_eq!(snapshot_bytes, pages * PAGE_BYTES as u64);
+        rows.push(Row {
+            durability,
+            pages,
+            snapshot_bytes,
+            build_wall_s,
+            build_charged_s: charged(&disk, built.io),
+            persist_wall_s,
+            persist_charged_s: charged(&disk, persist_io),
+            reopen_wall_s,
+            reopen_charged_s: charged(&disk, reopen_io),
+            digest: report.digest,
+            matches_sim: report.digest == baseline.digest,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut lines = String::new();
+    for row in &rows {
+        let json = row.json();
+        println!("{json}");
+        lines.push_str(&json);
+        lines.push('\n');
+    }
+    let dir = std::env::var("HDIDX_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+    let path = Path::new(&dir).join("BENCH_persist.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_persist.json");
+    f.write_all(lines.as_bytes())
+        .expect("write BENCH_persist.json");
+    println!("\nwrote {} rows to {}", rows.len(), path.display());
+
+    for row in &rows {
+        assert!(
+            row.matches_sim,
+            "reopened digest diverged under {}",
+            row.durability
+        );
+        println!(
+            "{:<9} persist charged {:.3} s vs wall {:.3} s | reopen charged {:.3} s vs wall {:.3} s",
+            row.durability.to_string(),
+            row.persist_charged_s,
+            row.persist_wall_s,
+            row.reopen_charged_s,
+            row.reopen_wall_s
+        );
+    }
+}

@@ -9,6 +9,29 @@
 use hdidx_baselines::PREDICTOR_NAMES;
 use hdidx_faults::{FaultPhase, RetryPolicy};
 use hdidx_serve::{ArrivalModel, MixSpec};
+use hdidx_store::Durability;
+
+/// Storage backend selection for the commands that build an index
+/// (`measure`, `serve`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The simulated disk: access-pattern accounting only, no bytes.
+    Sim,
+    /// The file-backed page store: same charged accounting, plus real
+    /// pages, checksums, a WAL, and an index snapshot under `--store`.
+    File,
+}
+
+impl Backend {
+    /// The stable name (`"sim"` / `"file"`).
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::File => "file",
+        }
+    }
+}
 
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +136,12 @@ pub enum Command {
         /// Per-phase fault-rate percentages in `FaultPhase::ALL` order
         /// (None = 100 % everywhere).
         fault_phase_scale: Option<[u16; 3]>,
+        /// Storage backend the build runs against.
+        backend: Backend,
+        /// Store directory (file backend only).
+        store_dir: Option<String>,
+        /// WAL durability mode (file backend only).
+        durability: Durability,
     },
     /// Serve an open-loop query stream against a built index and report
     /// tail latency.
@@ -155,6 +184,12 @@ pub enum Command {
         /// Per-phase fault-rate percentages in `FaultPhase::ALL` order
         /// (None = 100 % everywhere).
         fault_phase_scale: Option<[u16; 3]>,
+        /// Storage backend the build runs against.
+        backend: Backend,
+        /// Store directory (file backend only).
+        store_dir: Option<String>,
+        /// WAL durability mode (file backend only).
+        durability: Durability,
     },
     /// Generate a named dataset analog as CSV.
     Generate {
@@ -184,6 +219,8 @@ USAGE:
                  [--retry-policy fixed|exponential|budgeted] [--retry-budget B]
   hdidx measure  --data <csv> --m <points> [--queries 500] [--k 21]
                  [--page-bytes 8192] [--seed 42] [--threads N]
+                 [--backend sim|file] [--store <dir>]
+                 [--durability per-batch|every-N|none]
                  [--fault-seed S] [--fault-ppm P] [--fault-phase-scale SPEC]
                  [--retry-policy fixed|exponential|budgeted] [--retry-budget B]
   hdidx compare  --data <csv> --m <points> [--queries 500] [--k 21]
@@ -194,8 +231,20 @@ USAGE:
                  [--mix range:0.5,knn:0.3,predict:0.2] [--arrivals fixed|bursty]
                  [--concurrency 4] [--batch 8] [--admission-budget S]
                  [--queries 500] [--k 21] [--page-bytes 8192] [--seed 42]
-                 [--threads N] [--smoke] [fault/retry flags as above]
+                 [--threads N] [--smoke] [--backend sim|file] [--store <dir>]
+                 [--durability per-batch|every-N|none]
+                 [fault/retry flags as above]
   hdidx generate --dataset <name> [--scale 1.0] --out <csv>
+
+`--backend file` runs the build against the file-backed page store
+under `--store <dir>` (required): after the build, the index is
+persisted as a checksummed snapshot (`<dir>/index`), fsynced, reopened
+and verified, and `serve` then serves the loaded tree. Charged-model
+accounting is identical to the simulated backend; the report adds
+persist/reopen charged-model vs wall-clock seconds. `--durability`
+picks the write-ahead-log fsync cadence: `per-batch` (default, fsync
+every batch), `every-N` (e.g. `every-8`), or `none` (checkpoint only).
+Any previous snapshot under `--store` is replaced.
 
 `serve` builds the index, generates an open-loop request stream on
 simulated time (`--rate` requests/s for `--duration` s; `--arrivals
@@ -352,6 +401,38 @@ fn parse_phase_scale(opts: &Opts) -> Result<Option<[u16; 3]>, String> {
     Ok(Some(scale))
 }
 
+/// Parses `--backend` / `--store` / `--durability` as a unit: the file
+/// backend requires a store directory; the store and durability flags
+/// are meaningless on the simulated backend and rejected there.
+fn parse_backend(opts: &Opts) -> Result<(Backend, Option<String>, Durability), String> {
+    let backend = match opts.get("backend") {
+        None | Some("sim") => Backend::Sim,
+        Some("file") => Backend::File,
+        Some(other) => {
+            return Err(format!(
+                "option --backend: unknown backend `{other}` (expected sim or file)"
+            ))
+        }
+    };
+    let store_dir = opts.get("store").map(str::to_string);
+    let durability = match opts.get("durability") {
+        None => Durability::PerBatch,
+        Some(s) => Durability::parse(s).map_err(|e| format!("option --durability: {e}"))?,
+    };
+    match backend {
+        Backend::File if store_dir.is_none() => {
+            Err("option --backend file requires --store <dir>".to_string())
+        }
+        Backend::Sim if store_dir.is_some() => {
+            Err("option --store requires --backend file".to_string())
+        }
+        Backend::Sim if opts.get("durability").is_some() => {
+            Err("option --durability requires --backend file".to_string())
+        }
+        _ => Ok((backend, store_dir, durability)),
+    }
+}
+
 fn parse_threads(opts: &Opts) -> Result<Option<usize>, String> {
     let threads: Option<usize> = opts.parse_opt("threads")?;
     if threads == Some(0) {
@@ -484,7 +565,11 @@ impl Cli {
                     "fault-phase-scale",
                     "retry-policy",
                     "retry-budget",
+                    "backend",
+                    "store",
+                    "durability",
                 ])?;
+                let (backend, store_dir, durability) = parse_backend(&opts)?;
                 Command::Measure {
                     data: opts.required("data")?,
                     page_bytes: opts.parse_or("page-bytes", 8192usize)?,
@@ -499,6 +584,9 @@ impl Cli {
                     fault_ppm: opts.parse_opt("fault-ppm")?,
                     retry: parse_retry(&opts)?,
                     fault_phase_scale: parse_phase_scale(&opts)?,
+                    backend,
+                    store_dir,
+                    durability,
                 }
             }
             "serve" => {
@@ -523,7 +611,11 @@ impl Cli {
                     "retry-policy",
                     "retry-budget",
                     "smoke",
+                    "backend",
+                    "store",
+                    "durability",
                 ])?;
+                let (backend, store_dir, durability) = parse_backend(&opts)?;
                 // --smoke shrinks the open-loop window to CI scale while
                 // keeping every knob overridable.
                 let smoke = opts.has_flag("smoke");
@@ -570,6 +662,9 @@ impl Cli {
                     fault_ppm: opts.parse_opt("fault-ppm")?,
                     retry: parse_retry(&opts)?,
                     fault_phase_scale: parse_phase_scale(&opts)?,
+                    backend,
+                    store_dir,
+                    durability,
                 }
             }
             "generate" => {
@@ -762,6 +857,74 @@ mod tests {
             "measure --data d.csv --m 1 --fault-phase-scale build:lots",
             // info/generate take no phase-scale flag.
             "info --data d.csv --fault-phase-scale build:50",
+        ];
+        for args in bad {
+            assert!(Cli::parse(&argv(args)).is_err(), "should reject: {args}");
+        }
+    }
+
+    #[test]
+    fn parses_backend_flags() {
+        // Default: the simulated backend, no store directory.
+        let cli = Cli::parse(&argv("measure --data d.csv --m 100")).unwrap();
+        match cli.command {
+            Command::Measure {
+                backend,
+                store_dir,
+                durability,
+                ..
+            } => {
+                assert_eq!(backend, Backend::Sim);
+                assert_eq!(store_dir, None);
+                assert_eq!(durability, Durability::PerBatch);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cli = Cli::parse(&argv(
+            "measure --data d.csv --m 100 --backend file --store /tmp/st --durability every-8",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Measure {
+                backend,
+                store_dir,
+                durability,
+                ..
+            } => {
+                assert_eq!(backend, Backend::File);
+                assert_eq!(store_dir.as_deref(), Some("/tmp/st"));
+                assert_eq!(durability, Durability::EveryN(8));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cli = Cli::parse(&argv(
+            "serve --data d.csv --m 100 --smoke --backend file --store s --durability none",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Serve {
+                backend,
+                durability,
+                ..
+            } => {
+                assert_eq!(backend, Backend::File);
+                assert_eq!(durability, Durability::None);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let bad = [
+            // The file backend needs a store; sim rejects store/durability.
+            "measure --data d.csv --m 10 --backend file",
+            "measure --data d.csv --m 10 --store /tmp/x",
+            "measure --data d.csv --m 10 --durability none",
+            "measure --data d.csv --m 10 --backend ramdisk --store s",
+            "serve --data d.csv --m 10 --backend file",
+            "measure --data d.csv --m 10 --backend file --store s --durability every-0",
+            "measure --data d.csv --m 10 --backend file --store s --durability fsync",
+            // predict/compare/info take no backend flags.
+            "predict --data d.csv --m 10 --backend file --store s",
+            "compare --data d.csv --m 10 --backend sim",
+            "info --data d.csv --store s",
         ];
         for args in bad {
             assert!(Cli::parse(&argv(args)).is_err(), "should reject: {args}");

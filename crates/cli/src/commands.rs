@@ -1,21 +1,24 @@
 //! Command implementations, returning their report as a `String` so they
 //! are testable without capturing stdout.
 
-use crate::args::{Cli, Command};
+use crate::args::{Backend, Cli, Command};
 use crate::csvio;
 use hdidx_baselines::{by_name, PredictorConfig, PREDICTOR_NAMES};
 use hdidx_core::Dataset;
 use hdidx_datagen::registry::NamedDataset;
 use hdidx_datagen::workload::Workload;
-use hdidx_diskio::external::ExternalConfig;
-use hdidx_diskio::measure::measure_on_disk;
-use hdidx_diskio::DiskModel;
+use hdidx_diskio::external::{build_on_disk_in, ExternalConfig};
+use hdidx_diskio::measure::{measure_on_disk, measure_on_disk_in};
+use hdidx_diskio::{DiskModel, DiskOptions, IoStats, PageStore};
 use hdidx_faults::{FaultConfig, FaultPhase, RetryPolicy};
 use hdidx_model::{hupper, Prediction, QueryBall};
 use hdidx_serve::{ArrivalModel, LoadGen, MixSpec, ServeConfig, Server};
+use hdidx_store::{load_index, persist_index, Durability, FileStore};
 use hdidx_vamsplit::topology::{PageConfig, Topology};
+use hdidx_vamsplit::tree::RTree;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::time::Instant;
 
 /// Executes a parsed invocation.
 ///
@@ -73,6 +76,9 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             fault_ppm,
             retry,
             fault_phase_scale,
+            backend,
+            store_dir,
+            durability,
         } => {
             apply_threads(*threads);
             measure(
@@ -83,6 +89,11 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 *k,
                 *seed,
                 resolve_faults(*fault_seed, *fault_ppm, *retry, *fault_phase_scale),
+                &StoreSpec {
+                    backend: *backend,
+                    store_dir: store_dir.clone(),
+                    durability: *durability,
+                },
             )
         }
         Command::Compare {
@@ -128,6 +139,9 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             fault_ppm,
             retry,
             fault_phase_scale,
+            backend,
+            store_dir,
+            durability,
         } => {
             apply_threads(*threads);
             serve(&ServeArgs {
@@ -145,6 +159,11 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 k: *k,
                 seed: *seed,
                 faults: resolve_faults(*fault_seed, *fault_ppm, *retry, *fault_phase_scale),
+                store: StoreSpec {
+                    backend: *backend,
+                    store_dir: store_dir.clone(),
+                    durability: *durability,
+                },
             })
         }
     }
@@ -202,6 +221,82 @@ fn apply_threads(threads: Option<usize>) {
     if let Some(t) = threads {
         hdidx_pool::set_threads(t);
     }
+}
+
+/// Storage-backend selection shared by `measure` and `serve`: which
+/// [`PageStore`] implementor runs the build, and (for the file backend)
+/// where on disk it lives and how eagerly its WAL reaches the platter.
+struct StoreSpec {
+    backend: Backend,
+    store_dir: Option<String>,
+    durability: Durability,
+}
+
+impl StoreSpec {
+    /// The `--store` root. Parsing guarantees it for `--backend file`.
+    fn root(&self) -> Result<&Path, String> {
+        self.store_dir
+            .as_deref()
+            .map(Path::new)
+            .ok_or_else(|| "--backend file requires --store <dir>".to_string())
+    }
+}
+
+/// Clears `dir` so a fresh store can claim it.
+fn clear_dir(dir: &Path) -> Result<(), String> {
+    if dir.exists() {
+        std::fs::remove_dir_all(dir).map_err(|e| format!("cannot clear {}: {e}", dir.display()))?;
+    }
+    Ok(())
+}
+
+/// Persists `tree` into a fresh file store under `<store_root>/index`,
+/// drops it, reopens, loads the snapshot back, and verifies the loaded
+/// arenas are bitwise identical to what went in. Returns the loaded tree,
+/// the I/O charged by the reopen (so callers can bill it as build I/O),
+/// and the human-readable persist/reopen report comparing charged-model
+/// seconds with wall-clock seconds.
+fn persist_and_reopen(
+    store_root: &Path,
+    durability: Durability,
+    tree: &RTree,
+    disk: &DiskModel,
+) -> Result<(RTree, IoStats, String), String> {
+    let index_dir = store_root.join("index");
+    clear_dir(&index_dir)?;
+    let persist_clock = Instant::now();
+    let mut fresh =
+        FileStore::open(&index_dir, durability, &DiskOptions::new()).map_err(|e| e.to_string())?;
+    persist_index(&mut fresh, tree).map_err(|e| e.to_string())?;
+    let persist_wall_s = persist_clock.elapsed().as_secs_f64();
+    let persist_io = fresh.stats();
+    let pages = fresh.pages();
+    drop(fresh);
+
+    let reopen_clock = Instant::now();
+    let mut reopened =
+        FileStore::open(&index_dir, durability, &DiskOptions::new()).map_err(|e| e.to_string())?;
+    let (loaded, _) = load_index(&mut reopened).map_err(|e| e.to_string())?;
+    let reopen_wall_s = reopen_clock.elapsed().as_secs_f64();
+    let reopen_io = reopened.stats();
+    if loaded != *tree {
+        return Err("reopened index differs from the tree that was persisted".to_string());
+    }
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "persist: {pages} pages, durability {durability}, charged {:.3} s, wall {:.3} s",
+        disk.cost_seconds(persist_io),
+        persist_wall_s
+    );
+    let _ = writeln!(
+        report,
+        "reopen: verified identical, charged {:.3} s, wall {:.3} s",
+        disk.cost_seconds(reopen_io),
+        reopen_wall_s
+    );
+    Ok((loaded, reopen_io, report))
 }
 
 fn load(data: &Path, page_bytes: usize) -> Result<(Dataset, Topology), String> {
@@ -376,6 +471,7 @@ fn predict(
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measure(
     data: &Path,
     page_bytes: usize,
@@ -384,6 +480,7 @@ fn measure(
     k: usize,
     seed: u64,
     faults: Option<FaultConfig>,
+    store: &StoreSpec,
 ) -> Result<String, String> {
     let (dataset, topo) = load(data, page_bytes)?;
     let workload =
@@ -392,9 +489,32 @@ fn measure(
     let cfg = ExternalConfig::with_mem_points(m)
         .map_err(|e| e.to_string())?
         .with_faults(faults);
-    let measured =
-        measure_on_disk(&dataset, &topo, &centers, k, &cfg).map_err(|e| e.to_string())?;
     let disk = DiskModel::paper_with_page_bytes(page_bytes);
+    let (measured, backend_report) = match store.backend {
+        Backend::Sim => (
+            measure_on_disk(&dataset, &topo, &centers, k, &cfg).map_err(|e| e.to_string())?,
+            None,
+        ),
+        Backend::File => {
+            let root = store.root()?;
+            let scratch = root.join("scratch");
+            clear_dir(&scratch)?;
+            let mut fs = FileStore::open(
+                &scratch,
+                store.durability,
+                &DiskOptions::new()
+                    .fault_plan(cfg.faults)
+                    .phase(FaultPhase::Build),
+            )
+            .map_err(|e| e.to_string())?;
+            let measured = measure_on_disk_in(&mut fs, &dataset, &topo, &centers, k, &cfg)
+                .map_err(|e| e.to_string())?;
+            drop(fs);
+            let (_, _, lines) = persist_and_reopen(root, store.durability, &measured.tree, &disk)?;
+            let report = format!("backend: file (store {})\n{lines}", root.display());
+            (measured, Some(report))
+        }
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -417,6 +537,9 @@ fn measure(
             measured.total_io().retries
         );
     }
+    if let Some(report) = backend_report {
+        out.push_str(&report);
+    }
     Ok(out)
 }
 
@@ -437,6 +560,7 @@ struct ServeArgs<'a> {
     k: usize,
     seed: u64,
     faults: Option<FaultConfig>,
+    store: StoreSpec,
 }
 
 fn serve(args: &ServeArgs<'_>) -> Result<String, String> {
@@ -448,8 +572,47 @@ fn serve(args: &ServeArgs<'_>) -> Result<String, String> {
         .iter()
         .map(|q| QueryBall::new(q.center.clone(), q.radius))
         .collect();
-    let server = Server::build(&dataset, &topo, args.m, args.seed, args.faults)
-        .map_err(|e| e.to_string())?;
+    let disk = DiskModel::paper_with_page_bytes(args.page_bytes);
+    let (server, backend_report) = match args.store.backend {
+        Backend::Sim => (
+            Server::build(&dataset, &topo, args.m, args.seed, args.faults)
+                .map_err(|e| e.to_string())?,
+            None,
+        ),
+        Backend::File => {
+            let root = args.store.root()?;
+            let scratch = root.join("scratch");
+            clear_dir(&scratch)?;
+            let cfg = ExternalConfig::with_mem_points(args.m)
+                .map_err(|e| e.to_string())?
+                .with_faults(args.faults);
+            let mut fs = FileStore::open(
+                &scratch,
+                args.store.durability,
+                &DiskOptions::new()
+                    .fault_plan(args.faults)
+                    .phase(FaultPhase::Build),
+            )
+            .map_err(|e| e.to_string())?;
+            let built =
+                build_on_disk_in(&mut fs, &dataset, &topo, &cfg).map_err(|e| e.to_string())?;
+            drop(fs);
+            let (loaded, reopen_io, lines) =
+                persist_and_reopen(root, args.store.durability, &built.tree, &disk)?;
+            let server = Server::from_tree(
+                &dataset,
+                &topo,
+                loaded,
+                args.m,
+                args.seed,
+                args.faults,
+                built.io + reopen_io,
+            )
+            .map_err(|e| e.to_string())?;
+            let report = format!("backend: file (store {})\n{lines}", root.display());
+            (server, Some(report))
+        }
+    };
     let requests = LoadGen {
         rate_per_s: args.rate,
         duration_s: args.duration,
@@ -458,7 +621,6 @@ fn serve(args: &ServeArgs<'_>) -> Result<String, String> {
     }
     .requests(&candidates, &args.mix, args.k)
     .map_err(|e| e.to_string())?;
-    let disk = DiskModel::paper_with_page_bytes(args.page_bytes);
     let cfg = ServeConfig {
         concurrency: args.concurrency,
         batch: args.batch,
@@ -504,6 +666,9 @@ fn serve(args: &ServeArgs<'_>) -> Result<String, String> {
         report.io, report.backoff_s, report.makespan_s
     );
     let _ = writeln!(out, "latency digest: {:016x}", report.digest);
+    if let Some(report) = backend_report {
+        out.push_str(&report);
+    }
     Ok(out)
 }
 
@@ -776,6 +941,75 @@ mod tests {
             .unwrap_or_else(|| panic!("no shed percentage in: {a}"));
         assert!(shed_pct > 0.0, "budget 50 ms must shed under faults: {a}");
         assert!(a.contains("charged backoff:"), "{a}");
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn file_backend_round_trips_and_matches_the_sim_charging() {
+        let csv = temp_csv("file_backend.csv");
+        run(&format!(
+            "generate --dataset texture48 --scale 0.2 --out {}",
+            csv.display()
+        ))
+        .unwrap();
+        let store = std::env::temp_dir().join(format!("hdidx_cli_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store);
+
+        // The measurement body is byte-identical across backends (the file
+        // store charges through the same model disk); the file backend
+        // appends its persist/reopen report after it.
+        let sim = run(&format!(
+            "measure --data {} --m 200 --queries 10 --k 5 --seed 2",
+            csv.display()
+        ))
+        .unwrap();
+        let file = run(&format!(
+            "measure --data {} --m 200 --queries 10 --k 5 --seed 2 \
+             --backend file --store {} --durability every-4",
+            csv.display(),
+            store.display()
+        ))
+        .unwrap();
+        assert!(file.starts_with(&sim), "sim:\n{sim}\nfile:\n{file}");
+        assert!(file.contains("backend: file"), "{file}");
+        assert!(file.contains("persist:"), "{file}");
+        assert!(file.contains("durability every-4"), "{file}");
+        assert!(file.contains("reopen: verified identical"), "{file}");
+        // The snapshot outlives the run.
+        assert!(store.join("index").join("pages.db").exists());
+
+        // Fault traces ride through the file backend unchanged too.
+        let sim = run(&format!(
+            "measure --data {} --m 200 --queries 10 --k 5 --fault-seed 3 --fault-ppm 20000",
+            csv.display()
+        ))
+        .unwrap();
+        let file = run(&format!(
+            "measure --data {} --m 200 --queries 10 --k 5 --fault-seed 3 --fault-ppm 20000 \
+             --backend file --store {}",
+            csv.display(),
+            store.display()
+        ))
+        .unwrap();
+        assert!(file.starts_with(&sim), "sim:\n{sim}\nfile:\n{file}");
+        assert!(file.contains("injected faults:"), "{file}");
+
+        // Serving from the reopened snapshot answers identically to the
+        // sim-built server: same digest, same latency lines.
+        let base = format!(
+            "serve --data {} --m 200 --smoke --seed 5 --threads 2",
+            csv.display()
+        );
+        let sim = run(&base).unwrap();
+        let file = run(&format!(
+            "{base} --backend file --store {} --durability none",
+            store.display()
+        ))
+        .unwrap();
+        assert!(file.starts_with(&sim), "sim:\n{sim}\nfile:\n{file}");
+        assert!(file.contains("durability none"), "{file}");
+
+        std::fs::remove_dir_all(&store).ok();
         std::fs::remove_file(&csv).ok();
     }
 

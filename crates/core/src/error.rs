@@ -51,6 +51,16 @@ pub enum Error {
         /// Total attempts made (first try plus retries).
         attempts: u32,
     },
+    /// A persistent page store failed: an OS-level I/O error, or on-disk
+    /// state that failed validation on reopen (bad magic, a page-checksum
+    /// mismatch from a torn write, a truncated superblock).
+    StoreFailure {
+        /// The operation or validation that failed (e.g. `"page checksum"`,
+        /// `"wal append"`).
+        op: &'static str,
+        /// OS error string or validation detail.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -76,6 +86,9 @@ impl fmt::Display for Error {
                     f,
                     "I/O fault: {kind} fault at page {page} persisted after {attempts} attempts"
                 )
+            }
+            Error::StoreFailure { op, detail } => {
+                write!(f, "store failure during {op}: {detail}")
             }
         }
     }
@@ -129,6 +142,14 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "I/O fault: torn fault at page 128 persisted after 4 attempts"
+        );
+        let e = Error::StoreFailure {
+            op: "page checksum",
+            detail: "page 7 checksum mismatch".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "store failure during page checksum: page 7 checksum mismatch"
         );
     }
 

@@ -38,6 +38,21 @@ pub struct FileHandle {
 }
 
 impl FileHandle {
+    /// A handle over an explicit page range. Backends other than the
+    /// simulated [`Disk`] (e.g. the file-backed store in `hdidx-store`)
+    /// use this to mint handles for ranges they allocated themselves;
+    /// the range is validated on every access, not at construction.
+    #[must_use]
+    pub fn from_raw(start_page: u64, pages: u64) -> FileHandle {
+        FileHandle { start_page, pages }
+    }
+
+    /// Absolute first page of the file.
+    #[must_use]
+    pub fn start_page(&self) -> u64 {
+        self.start_page
+    }
+
     /// Number of pages in the file.
     pub fn pages(&self) -> u64 {
         self.pages
@@ -64,9 +79,24 @@ impl Disk {
         }
     }
 
+    /// A fresh disk configured by `opts` — the builder-style replacement
+    /// for `Disk::new()` + [`Disk::set_fault_plan`]. See
+    /// [`DiskOptions`](crate::DiskOptions) for the full resolution order
+    /// (explicit config → retry override → phase scaling → stream
+    /// derivation).
+    pub fn with_options(opts: &crate::DiskOptions) -> Disk {
+        let mut d = Disk::new();
+        d.plan = opts.resolved_plan();
+        d
+    }
+
     /// Installs (or removes) a fault plan. Accesses made from here on run
     /// through the plan's per-attempt decisions; `None` restores the ideal
     /// device.
+    ///
+    /// **Deprecated:** prefer [`Disk::with_options`] with a
+    /// [`DiskOptions`](crate::DiskOptions) builder; this shim stays for
+    /// one release so external callers can migrate.
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         self.plan = plan;
     }
@@ -112,8 +142,11 @@ impl Disk {
         if n_pages == 0 {
             return Ok(());
         }
+        // On u64 overflow report the offending start offset itself — not a
+        // sentinel like `usize::MAX`, which used to masquerade as a
+        // (meaningless) huge index.
         let end = first_page.checked_add(n_pages).ok_or(Error::IoOutOfRange {
-            index: usize::MAX,
+            index: first_page as usize,
             len: file.pages as usize,
         })?;
         if end > file.pages {
@@ -242,6 +275,56 @@ impl Disk {
         self.last_page = Some(cursor + remaining - 1);
     }
 
+    /// Reads `n_pages` pages of `file` starting at `first_page`
+    /// (file-relative) into `buf`. The simulated disk stores no bytes, so
+    /// `buf` is left untouched (it may be empty — the store API is
+    /// pattern-only on this backend); the charge is exactly that of
+    /// [`Disk::access`], plus `n_pages` on the [`IoStats::reads`] intent
+    /// counter when the access succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Disk::access`].
+    pub fn read_pages(
+        &mut self,
+        file: &FileHandle,
+        first_page: u64,
+        n_pages: u64,
+        _buf: &mut [u8],
+    ) -> Result<()> {
+        self.access(file, first_page, n_pages)?;
+        self.stats.reads += n_pages;
+        Ok(())
+    }
+
+    /// Writes `n_pages` pages of `file` starting at `first_page`
+    /// (file-relative) from `data`. The mirror image of
+    /// [`Disk::read_pages`]: `data` is ignored (it may be empty) and the
+    /// charge is that of [`Disk::access`] plus the [`IoStats::writes`]
+    /// intent counter.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Disk::access`].
+    pub fn write_pages(
+        &mut self,
+        file: &FileHandle,
+        first_page: u64,
+        n_pages: u64,
+        _data: &[u8],
+    ) -> Result<()> {
+        self.access(file, first_page, n_pages)?;
+        self.stats.writes += n_pages;
+        Ok(())
+    }
+
+    /// Total pages allocated so far (the high-water mark of
+    /// [`Disk::alloc`]).
+    #[must_use]
+    pub fn allocated_pages(&self) -> u64 {
+        self.next_free_page
+    }
+
     /// Accesses the pages holding records `first_rec..first_rec + n_recs`
     /// of a file storing `recs_per_page` records per page.
     ///
@@ -308,8 +391,7 @@ mod tests {
             IoStats {
                 seeks: 1,
                 transfers: 10,
-                retries: 0,
-                backoff: 0,
+                ..IoStats::default()
             }
         );
         // Continuing where the head is: no new seek.
@@ -319,8 +401,7 @@ mod tests {
             IoStats {
                 seeks: 1,
                 transfers: 15,
-                retries: 0,
-                backoff: 0,
+                ..IoStats::default()
             }
         );
     }
@@ -336,8 +417,7 @@ mod tests {
             IoStats {
                 seeks: 2,
                 transfers: 2,
-                retries: 0,
-                backoff: 0,
+                ..IoStats::default()
             }
         );
         // Jumping backwards also seeks.
@@ -356,8 +436,7 @@ mod tests {
             IoStats {
                 seeks: 1,
                 transfers: 1,
-                retries: 0,
-                backoff: 0,
+                ..IoStats::default()
             }
         );
         // Re-access extending past the buffered page: only the new pages.
@@ -367,8 +446,7 @@ mod tests {
             IoStats {
                 seeks: 1,
                 transfers: 3,
-                retries: 0,
-                backoff: 0,
+                ..IoStats::default()
             }
         );
     }
@@ -386,8 +464,7 @@ mod tests {
             IoStats {
                 seeks: 1,
                 transfers: 11,
-                retries: 0,
-                backoff: 0,
+                ..IoStats::default()
             }
         );
         // But going back to a seeks.
@@ -406,8 +483,7 @@ mod tests {
             IoStats {
                 seeks: 1,
                 transfers: 2,
-                retries: 0,
-                backoff: 0,
+                ..IoStats::default()
             }
         );
         assert!(d.access_records(&f, 0, 1, 0).is_err());
@@ -425,6 +501,50 @@ mod tests {
     }
 
     #[test]
+    fn overflowing_range_reports_the_offending_offset() {
+        // Regression: `first_page + n_pages` overflowing u64 used to
+        // report `index: usize::MAX` — a sentinel, not the offset.
+        let mut d = Disk::new();
+        let f = d.alloc(10).unwrap();
+        let first = u64::MAX - 3;
+        let err = d.access(&f, first, 8).unwrap_err();
+        assert_eq!(
+            err,
+            Error::IoOutOfRange {
+                index: first as usize,
+                len: 10,
+            }
+        );
+        assert_ne!(first as usize, usize::MAX);
+        assert_eq!(
+            d.stats(),
+            IoStats::default(),
+            "failed probe charges nothing"
+        );
+    }
+
+    #[test]
+    fn read_write_intent_counters_ride_on_access_accounting() {
+        let mut d = Disk::new();
+        let f = d.alloc(100).unwrap();
+        d.read_pages(&f, 0, 10, &mut []).unwrap();
+        d.write_pages(&f, 10, 5, &[]).unwrap();
+        let s = d.stats();
+        // Same head charge as the equivalent `access` calls...
+        assert_eq!((s.seeks, s.transfers), (1, 15));
+        // ...plus the direction split.
+        assert_eq!((s.reads, s.writes), (10, 5));
+        // Raw `access` stays direction-blind.
+        d.access(&f, 20, 3).unwrap();
+        let s = d.stats();
+        assert_eq!((s.reads, s.writes), (10, 5));
+        assert_eq!(s.transfers, 18);
+        // Failed accesses do not count pages as delivered.
+        assert!(d.read_pages(&f, 95, 20, &mut []).is_err());
+        assert_eq!(d.stats().reads, 10);
+    }
+
+    #[test]
     fn charge_and_reset() {
         let mut d = Disk::new();
         let f = d.alloc(4).unwrap();
@@ -435,8 +555,7 @@ mod tests {
             IoStats {
                 seeks: 8,
                 transfers: 11,
-                retries: 0,
-                backoff: 0,
+                ..IoStats::default()
             }
         );
         d.reset_stats();
@@ -496,7 +615,7 @@ mod tests {
                 seeks: 3,
                 transfers: 0,
                 retries: 2,
-                backoff: 0,
+                ..IoStats::default()
             }
         );
         assert_eq!(d.fault_trace().len(), 3);

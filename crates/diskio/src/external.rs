@@ -23,9 +23,10 @@
 
 use crate::disk::{Disk, FileHandle};
 use crate::model::IoStats;
+use crate::store::{DiskOptions, PageStore};
 use hdidx_core::stats::max_variance_dim;
 use hdidx_core::{Dataset, Error, HyperRect, Result};
-use hdidx_faults::{FaultConfig, FaultEvent, FaultPhase, FaultPlan};
+use hdidx_faults::{FaultConfig, FaultEvent, FaultPhase};
 use hdidx_vamsplit::split::partition_by_rank;
 use hdidx_vamsplit::topology::Topology;
 use hdidx_vamsplit::tree::{Node, NodeKind, RTree};
@@ -40,7 +41,8 @@ pub struct ExternalConfig {
     /// during builds).
     pub io_buf_pages: u64,
     /// Optional fault injection: when set, the build's simulated disk runs
-    /// every access through a seeded [`FaultPlan`] with bounded retry.
+    /// every access through a seeded
+    /// [`FaultPlan`](hdidx_faults::FaultPlan) with bounded retry.
     pub faults: Option<FaultConfig>,
 }
 
@@ -78,6 +80,11 @@ impl ExternalConfig {
     }
 
     /// Attaches (or clears) a fault-injection configuration.
+    ///
+    /// **Deprecated:** prefer configuring the backend itself with a
+    /// [`DiskOptions`] builder and calling [`build_on_disk_in`] /
+    /// [`crate::measure_on_disk_in`]; this shim stays for one release so
+    /// external callers can migrate.
     #[must_use]
     pub fn with_faults(mut self, faults: Option<FaultConfig>) -> Self {
         self.faults = faults;
@@ -112,6 +119,33 @@ pub struct BuildOutput {
 /// and the usual shape mismatches; propagates [`Error::IoFault`] from an
 /// exhausted retry budget.
 pub fn build_on_disk(data: &Dataset, topo: &Topology, cfg: &ExternalConfig) -> Result<BuildOutput> {
+    let mut disk = Disk::with_options(
+        &DiskOptions::new()
+            .fault_plan(cfg.faults)
+            .phase(FaultPhase::Build),
+    );
+    build_on_disk_in(&mut disk, data, topo, cfg)
+}
+
+/// [`build_on_disk`] against a caller-supplied storage backend.
+///
+/// The store is used as-is: its fault plan (installed via
+/// [`DiskOptions`]) governs injection — `cfg.faults` is only consumed by
+/// the [`build_on_disk`] wrapper, which phase-specializes it for
+/// [`FaultPhase::Build`]. The reported [`BuildOutput::io`] and
+/// [`BuildOutput::fault_trace`] are the **deltas** this build added, so a
+/// store carrying earlier charges (e.g. a reopened file store) reports
+/// only the build's own bill.
+///
+/// # Errors
+///
+/// As [`build_on_disk`], plus any backend I/O error.
+pub fn build_on_disk_in(
+    store: &mut dyn PageStore,
+    data: &Dataset,
+    topo: &Topology,
+    cfg: &ExternalConfig,
+) -> Result<BuildOutput> {
     if data.dim() != topo.dim() {
         return Err(Error::DimensionMismatch {
             expected: topo.dim(),
@@ -143,19 +177,17 @@ pub fn build_on_disk(data: &Dataset, topo: &Topology, cfg: &ExternalConfig) -> R
     let n = data.len();
     let recs_per_page = topo.cap_data() as u64;
     let data_pages = (n as u64).div_ceil(recs_per_page);
-    let mut disk = Disk::new();
-    if let Some(fcfg) = cfg.faults {
-        disk.set_fault_plan(Some(FaultPlan::new(fcfg.for_phase(FaultPhase::Build))));
-    }
-    let file = disk.alloc(data_pages)?;
+    let io_at_entry = store.stats();
+    let trace_at_entry = store.fault_trace().len();
+    let file = store.alloc(data_pages)?;
     // Output region for finished index pages (generously sized; only the
     // access pattern matters).
-    let out = disk.alloc(2 * topo.total_pages() + 64)?;
+    let out = store.alloc(2 * topo.total_pages() + 64)?;
     let mut b = ExtBuilder {
         data,
         topo,
         cfg,
-        disk,
+        store,
         file,
         out,
         out_cursor: 0,
@@ -170,11 +202,11 @@ pub fn build_on_disk(data: &Dataset, topo: &Topology, cfg: &ExternalConfig) -> R
     let written_so_far = b.out_cursor;
     let remaining = (b.nodes.len() as u64).saturating_sub(written_so_far);
     if remaining > 0 {
-        b.disk.access(&b.out, b.out_cursor, remaining)?;
+        b.store.write_pages(&b.out, b.out_cursor, remaining, &[])?;
         b.out_cursor += remaining;
     }
-    let io = b.disk.stats();
-    let fault_trace = b.disk.fault_trace().to_vec();
+    let io = stats_delta(b.store.stats(), io_at_entry);
+    let fault_trace = b.store.fault_trace()[trace_at_entry..].to_vec();
     let ExtBuilder { nodes, ids, .. } = b;
     let tree = RTree::from_arenas(data.dim(), topo.height(), 1, nodes, ids)?;
     Ok(BuildOutput {
@@ -184,11 +216,24 @@ pub fn build_on_disk(data: &Dataset, topo: &Topology, cfg: &ExternalConfig) -> R
     })
 }
 
+/// Field-wise `after - before`, for reporting a build's own I/O on a
+/// store that carried earlier charges.
+fn stats_delta(after: IoStats, before: IoStats) -> IoStats {
+    IoStats {
+        seeks: after.seeks - before.seeks,
+        transfers: after.transfers - before.transfers,
+        retries: after.retries - before.retries,
+        backoff: after.backoff - before.backoff,
+        reads: after.reads - before.reads,
+        writes: after.writes - before.writes,
+    }
+}
+
 struct ExtBuilder<'a> {
     data: &'a Dataset,
     topo: &'a Topology,
     cfg: &'a ExternalConfig,
-    disk: Disk,
+    store: &'a mut dyn PageStore,
     file: FileHandle,
     out: FileHandle,
     out_cursor: u64,
@@ -213,7 +258,7 @@ impl<'a> ExtBuilder<'a> {
         let mut newly_resident = false;
         if !resident && end - start <= self.cfg.mem_points {
             // Load the whole segment into memory: one sequential run.
-            self.disk.access_records(
+            self.store.read_records(
                 &self.file,
                 start as u64,
                 (end - start) as u64,
@@ -266,8 +311,8 @@ impl<'a> ExtBuilder<'a> {
             // region in one sequential run (its data pages + directory
             // pages were all produced in memory).
             let subtree_pages = self.nodes.len() as u64 - my_index as u64;
-            self.disk
-                .access(&self.out, self.out_cursor, subtree_pages)?;
+            self.store
+                .write_pages(&self.out, self.out_cursor, subtree_pages, &[])?;
             self.out_cursor += subtree_pages;
         }
         Ok(Some(my_index))
@@ -301,7 +346,7 @@ impl<'a> ExtBuilder<'a> {
         if rank > 0 && rank < len {
             if !resident {
                 // Variance scan of the segment (read-only sequential pass).
-                self.disk.access_records(
+                self.store.read_records(
                     &self.file,
                     start as u64,
                     len as u64,
@@ -345,10 +390,10 @@ impl<'a> ExtBuilder<'a> {
             let len = hi - lo;
             if len <= self.cfg.mem_points {
                 // Read the survivor segment, finish in memory, write back.
-                self.disk
-                    .access_records(&self.file, lo as u64, len as u64, self.recs_per_page)?;
-                self.disk
-                    .access_records(&self.file, lo as u64, len as u64, self.recs_per_page)?;
+                self.store
+                    .read_records(&self.file, lo as u64, len as u64, self.recs_per_page)?;
+                self.store
+                    .write_records(&self.file, lo as u64, len as u64, self.recs_per_page)?;
                 return Ok(());
             }
             self.partition_pass_io(lo, len)?;
@@ -388,7 +433,7 @@ impl<'a> ExtBuilder<'a> {
         let remaining_end = lo + len;
         while read_pos < remaining_end {
             let this = chunk_recs.min(remaining_end - read_pos);
-            self.disk.access_records(
+            self.store.read_records(
                 &self.file,
                 read_pos as u64,
                 this as u64,
@@ -399,7 +444,7 @@ impl<'a> ExtBuilder<'a> {
             // (the actual split depends on the data; half is the model).
             let half = this / 2;
             if half > 0 {
-                self.disk.access_records(
+                self.store.write_records(
                     &self.file,
                     front as u64,
                     half as u64,
@@ -410,7 +455,7 @@ impl<'a> ExtBuilder<'a> {
             let rest = this - half;
             if rest > 0 {
                 back -= rest;
-                self.disk.access_records(
+                self.store.write_records(
                     &self.file,
                     back as u64,
                     rest as u64,

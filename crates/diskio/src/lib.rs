@@ -20,7 +20,13 @@
 //!   same tree as the in-memory loader plus the I/O bill for building it,
 //! * [`measure`] — ground-truth measurement: runs a k-NN workload against
 //!   the on-disk index, counting random page accesses, and reports the
-//!   paper's "on-disk" row (build cost + query cost).
+//!   paper's "on-disk" row (build cost + query cost),
+//! * [`store`] — the [`store::PageStore`] trait every storage backend
+//!   implements (the simulated [`disk::Disk`] is the reference
+//!   implementor; the file-backed store with WAL durability lives in
+//!   `hdidx-store`) and the [`store::DiskOptions`] builder that
+//!   configures fault injection, retry policy and phase/stream
+//!   derivation for any backend.
 //!
 //! Bytes are kept in RAM (only the *access pattern* determines cost), but
 //! the algorithms really execute the external-memory logic — pass structure,
@@ -33,8 +39,10 @@ pub mod disk;
 pub mod external;
 pub mod measure;
 pub mod model;
+pub mod store;
 
 pub use disk::{Disk, FileHandle};
-pub use external::build_on_disk;
-pub use measure::{measure_on_disk, OnDiskMeasurement};
+pub use external::{build_on_disk, build_on_disk_in};
+pub use measure::{measure_on_disk, measure_on_disk_in, OnDiskMeasurement};
 pub use model::{DiskModel, IoStats};
+pub use store::{DiskOptions, PageStore};

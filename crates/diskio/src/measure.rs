@@ -4,10 +4,11 @@
 //! every predictor is scored against.
 
 use crate::disk::Disk;
-use crate::external::{build_on_disk, ExternalConfig};
+use crate::external::{build_on_disk_in, ExternalConfig};
 use crate::model::IoStats;
+use crate::store::{DiskOptions, PageStore};
 use hdidx_core::{Dataset, Result};
-use hdidx_faults::{FaultEvent, FaultPhase, FaultPlan};
+use hdidx_faults::{FaultEvent, FaultPhase};
 use hdidx_vamsplit::query::knn;
 use hdidx_vamsplit::topology::Topology;
 use hdidx_vamsplit::tree::RTree;
@@ -69,7 +70,32 @@ pub fn measure_on_disk(
     k: usize,
     cfg: &ExternalConfig,
 ) -> Result<OnDiskMeasurement> {
-    let built = build_on_disk(data, topo, cfg)?;
+    let mut disk = Disk::with_options(
+        &DiskOptions::new()
+            .fault_plan(cfg.faults)
+            .phase(FaultPhase::Build),
+    );
+    measure_on_disk_in(&mut disk, data, topo, centers, k, cfg)
+}
+
+/// [`measure_on_disk`] with the **build** running against a
+/// caller-supplied storage backend (the query phase models random page
+/// accesses on a scratch simulated disk either way — query execution
+/// itself is in-memory on every backend, so the modeled bill is
+/// backend-independent by construction).
+///
+/// # Errors
+///
+/// As [`measure_on_disk`], plus any backend I/O error from the build.
+pub fn measure_on_disk_in(
+    store: &mut dyn PageStore,
+    data: &Dataset,
+    topo: &Topology,
+    centers: &[Vec<f32>],
+    k: usize,
+    cfg: &ExternalConfig,
+) -> Result<OnDiskMeasurement> {
+    let built = build_on_disk_in(store, data, topo, cfg)?;
     let mut per_query = Vec::with_capacity(centers.len());
     let query_io;
     let mut fault_trace = built.fault_trace;
@@ -90,8 +116,11 @@ pub fn measure_on_disk(
             // and one transfer — identical to `IoStats::random` — while
             // the plan injects faults and the retry accounting of
             // `Disk::access` applies unchanged.
-            let mut qdisk = Disk::new();
-            qdisk.set_fault_plan(Some(FaultPlan::new(fcfg.for_phase(FaultPhase::Query))));
+            let mut qdisk = Disk::with_options(
+                &DiskOptions::new()
+                    .fault_plan(Some(fcfg))
+                    .phase(FaultPhase::Query),
+            );
             let qfile = qdisk.alloc(4)?;
             let mut flip = 0u64;
             for c in centers {

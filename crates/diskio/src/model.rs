@@ -22,6 +22,19 @@ pub struct IoStats {
     ///
     /// [`RetryPolicy`]: hdidx_faults::RetryPolicy
     pub backoff: u64,
+    /// Pages moved through the intent-carrying read path
+    /// (`PageStore::read_pages`). Raw [`Disk::access`] calls — which do
+    /// not know their direction — leave this at zero, so closed-form
+    /// pins on seeks/transfers are unaffected.
+    ///
+    /// [`Disk::access`]: crate::Disk::access
+    /// [`PageStore::read_pages`]: crate::PageStore::read_pages
+    pub reads: u64,
+    /// Pages moved through the intent-carrying write path
+    /// (`PageStore::write_pages`); see [`IoStats::reads`].
+    ///
+    /// [`PageStore::write_pages`]: crate::PageStore::write_pages
+    pub writes: u64,
 }
 
 impl IoStats {
@@ -31,8 +44,7 @@ impl IoStats {
         IoStats {
             seeks: 1,
             transfers: pages,
-            retries: 0,
-            backoff: 0,
+            ..IoStats::default()
         }
     }
 
@@ -42,8 +54,7 @@ impl IoStats {
         IoStats {
             seeks: n,
             transfers: n,
-            retries: 0,
-            backoff: 0,
+            ..IoStats::default()
         }
     }
 }
@@ -51,9 +62,9 @@ impl IoStats {
 /// The canonical human-readable rendering, used by the CLI and the bench
 /// binaries instead of hand-formatting the counters:
 /// `"<seeks> seeks, <transfers> page transfers"`, with
-/// `", <retries> retries"` and `", <backoff> backoff seek-equivalents"`
-/// appended only when those counters are nonzero so fault-free output is
-/// unchanged.
+/// `", <retries> retries"`, `", <backoff> backoff seek-equivalents"` and
+/// `", <reads>r/<writes>w pages"` appended only when those counters are
+/// nonzero so fault-free (and direction-blind) output is unchanged.
 impl fmt::Display for IoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} seeks, {} page transfers", self.seeks, self.transfers)?;
@@ -62,6 +73,9 @@ impl fmt::Display for IoStats {
         }
         if self.backoff > 0 {
             write!(f, ", {} backoff seek-equivalents", self.backoff)?;
+        }
+        if self.reads > 0 || self.writes > 0 {
+            write!(f, ", {}r/{}w pages", self.reads, self.writes)?;
         }
         Ok(())
     }
@@ -75,6 +89,8 @@ impl Add for IoStats {
             transfers: self.transfers + rhs.transfers,
             retries: self.retries + rhs.retries,
             backoff: self.backoff + rhs.backoff,
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
         }
     }
 }
@@ -85,6 +101,8 @@ impl AddAssign for IoStats {
         self.transfers += rhs.transfers;
         self.retries += rhs.retries;
         self.backoff += rhs.backoff;
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
     }
 }
 
@@ -99,7 +117,7 @@ impl AddAssign for IoStats {
 ///
 /// let disk = DiskModel::PAPER; // 10 ms seek, 20 MB/s, 8 KB pages
 /// assert!((disk.t_xfer_s() - 0.4096e-3).abs() < 1e-9);
-/// let io = IoStats { seeks: 100, transfers: 1000, retries: 0, backoff: 0, };
+/// let io = IoStats { seeks: 100, transfers: 1000, ..IoStats::default() };
 /// assert!((disk.cost_seconds(io) - (1.0 + 0.4096)).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -157,8 +175,7 @@ mod tests {
         let io = IoStats {
             seeks: 100,
             transfers: 1000,
-            retries: 0,
-            backoff: 0,
+            ..IoStats::default()
         };
         let expect = 100.0 * 0.010 + 1000.0 * 8192.0 / 20.0e6;
         assert!((m.cost_seconds(io) - expect).abs() < 1e-12);
@@ -170,8 +187,7 @@ mod tests {
         let quiet = IoStats {
             seeks: 10,
             transfers: 100,
-            retries: 0,
-            backoff: 0,
+            ..IoStats::default()
         };
         let backed_off = IoStats {
             backoff: 7,
@@ -199,8 +215,7 @@ mod tests {
         let io = IoStats {
             seeks: 3,
             transfers: 42,
-            retries: 0,
-            backoff: 0,
+            ..IoStats::default()
         };
         assert_eq!(io.to_string(), "3 seeks, 42 page transfers");
         let noisy = IoStats {
@@ -211,6 +226,15 @@ mod tests {
         assert_eq!(
             noisy.to_string(),
             "3 seeks, 42 page transfers, 2 retries, 5 backoff seek-equivalents"
+        );
+        let directed = IoStats {
+            reads: 40,
+            writes: 2,
+            ..io
+        };
+        assert_eq!(
+            directed.to_string(),
+            "3 seeks, 42 page transfers, 40r/2w pages"
         );
     }
 
@@ -223,11 +247,16 @@ mod tests {
             IoStats {
                 seeks: 6,
                 transfers: 15,
-                retries: 0,
-                backoff: 0,
+                ..IoStats::default()
             }
         );
         let b = a + IoStats::default();
         assert_eq!(b, a);
+        a += IoStats {
+            reads: 3,
+            writes: 4,
+            ..IoStats::default()
+        };
+        assert_eq!((a.reads, a.writes), (3, 4));
     }
 }

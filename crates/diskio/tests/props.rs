@@ -73,8 +73,7 @@ fn one_sequential_pass_costs_exactly_one_seek() {
                 IoStats {
                     seeks: 1,
                     transfers: total,
-                    retries: 0,
-                    backoff: 0,
+                    ..IoStats::default()
                 }
             );
             Verdict::Pass
@@ -93,22 +92,19 @@ fn charge_is_additive() {
             disk.charge(IoStats {
                 seeks,
                 transfers,
-                retries: 0,
-                backoff: 0,
+                ..IoStats::default()
             });
             disk.charge(IoStats {
                 seeks,
                 transfers,
-                retries: 0,
-                backoff: 0,
+                ..IoStats::default()
             });
             prop_assert_eq!(
                 disk.stats(),
                 IoStats {
                     seeks: 2 * seeks,
                     transfers: 2 * transfers,
-                    retries: 0,
-                    backoff: 0,
+                    ..IoStats::default()
                 }
             );
             Verdict::Pass
@@ -141,8 +137,7 @@ fn record_access_covers_exactly_the_spanned_pages() {
                 IoStats {
                     seeks: 1,
                     transfers: last_page - first_page + 1,
-                    retries: 0,
-                    backoff: 0,
+                    ..IoStats::default()
                 }
             );
             Verdict::Pass

@@ -82,8 +82,7 @@ impl CostInputs {
         IoStats {
             seeks: chunks * (1 + k),
             transfers: chunks * (read_per_chunk + write_per_chunk),
-            retries: 0,
-            backoff: 0,
+            ..IoStats::default()
         }
     }
 
@@ -95,8 +94,7 @@ impl CostInputs {
         IoStats {
             seeks: k,
             transfers: k * pages,
-            retries: 0,
-            backoff: 0,
+            ..IoStats::default()
         }
     }
 
@@ -150,8 +148,7 @@ impl CostInputs {
                 io += IoStats {
                     seeks: chunked_seeks,
                     transfers: 2 * n_pages,
-                    retries: 0,
-                    backoff: 0,
+                    ..IoStats::default()
                 };
             }
             level -= 1;
@@ -165,14 +162,12 @@ impl CostInputs {
         io += IoStats {
             seeks: groups,
             transfers: n_pages,
-            retries: 0,
-            backoff: 0,
+            ..IoStats::default()
         };
         io += IoStats {
             seeks: groups,
             transfers: topo.total_pages(),
-            retries: 0,
-            backoff: 0,
+            ..IoStats::default()
         };
         io
     }
@@ -249,8 +244,7 @@ mod tests {
             IoStats {
                 seeks: 3 * (1 + 3),
                 transfers: 3 * (read + write),
-                retries: 0,
-                backoff: 0,
+                ..IoStats::default()
             }
         );
     }

@@ -23,8 +23,8 @@ use crate::upper::build_upper_phase;
 use crate::{DegradedReport, Prediction, QueryBall};
 use hdidx_core::rng::{bernoulli_sample, seeded};
 use hdidx_core::{Dataset, HyperRect, LeafSoup, Result};
-use hdidx_diskio::{Disk, IoStats};
-use hdidx_faults::{FaultConfig, FaultEvent, FaultPhase, FaultPlan};
+use hdidx_diskio::{Disk, DiskOptions, IoStats};
+use hdidx_faults::{FaultConfig, FaultEvent, FaultPhase};
 use hdidx_pool::Pool;
 use hdidx_vamsplit::bulkload::bulk_load_subtree_with;
 use hdidx_vamsplit::topology::Topology;
@@ -173,10 +173,11 @@ fn predict_resampled_impl(
     };
 
     // ---- I/O accounting disk -------------------------------------------
-    let mut disk = Disk::new();
-    if let Some(fcfg) = faults {
-        disk.set_fault_plan(Some(FaultPlan::new(fcfg.for_phase(FaultPhase::Predict))));
-    }
+    let mut disk = Disk::with_options(
+        &DiskOptions::new()
+            .fault_plan(faults)
+            .phase(FaultPhase::Predict),
+    );
     let data_pages = (n as u64).div_ceil(b);
     let file = disk.alloc(data_pages)?;
     let area_pages = (params.m as u64).div_ceil(b).max(1);

@@ -15,8 +15,8 @@
 
 use crate::DegradedReport;
 use hdidx_core::{Error, Result};
-use hdidx_diskio::{Disk, IoStats};
-use hdidx_faults::{FaultConfig, FaultPhase, FaultPlan};
+use hdidx_diskio::{Disk, DiskOptions, IoStats};
+use hdidx_faults::{FaultConfig, FaultPhase};
 
 /// Pages per buffered read of the replayed scan. Also the granularity of
 /// graceful degradation: one exhausted chunk loses `SCAN_CHUNK_PAGES`
@@ -48,8 +48,11 @@ pub(crate) fn faulted_scan(
     scan_pages: u64,
     query_reads: u64,
 ) -> Result<FaultedScan> {
-    let mut disk = Disk::new();
-    disk.set_fault_plan(Some(FaultPlan::new(fcfg.for_phase(FaultPhase::Predict))));
+    let mut disk = Disk::with_options(
+        &DiskOptions::new()
+            .fault_plan(Some(fcfg))
+            .phase(FaultPhase::Predict),
+    );
     if query_reads > 0 {
         // Alternating between two non-adjacent pages makes every read cost
         // exactly one seek and one transfer — `IoStats::random` per read.

@@ -31,7 +31,8 @@ use hdidx_core::{Dataset, LeafSoup, Result};
 use hdidx_diskio::disk::Disk;
 use hdidx_diskio::external::{build_on_disk, ExternalConfig};
 use hdidx_diskio::model::{DiskModel, IoStats};
-use hdidx_faults::{FaultConfig, FaultPhase, FaultPlan};
+use hdidx_diskio::store::DiskOptions;
+use hdidx_faults::{FaultConfig, FaultPhase};
 use hdidx_model::hupper::recommended_h_upper;
 use hdidx_model::upper::build_upper_phase;
 use hdidx_pool::Pool;
@@ -198,6 +199,43 @@ impl<'a> Server<'a> {
         })
     }
 
+    /// Adopts an already-built `tree` — e.g. one loaded back from a
+    /// persistent page store — instead of building one. The soups and the
+    /// grown upper tree are reconstructed exactly as [`Server::build`]
+    /// does, so a server over a loaded tree serves range / k-NN / predict
+    /// queries identically to the server that persisted it (pinned by the
+    /// file-backend round-trip tests). `build_io` is whatever the caller
+    /// wants reported — typically the I/O charged loading the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates soup and upper-phase errors (shape mismatches,
+    /// infeasible `m`).
+    pub fn from_tree(
+        data: &'a Dataset,
+        topo: &Topology,
+        tree: RTree,
+        m: usize,
+        seed: u64,
+        faults: Option<FaultConfig>,
+        build_io: IoStats,
+    ) -> Result<Server<'a>> {
+        let leaf_soup = LeafSoup::from_rects(topo.dim(), &tree.leaf_rects())?;
+        let h_upper = recommended_h_upper(topo, m)?;
+        let up = build_upper_phase(data, topo, m, h_upper, seed)?;
+        let predict_soup = up.grown_soup()?;
+        let height = tree.height();
+        Ok(Server {
+            data,
+            tree,
+            leaf_soup,
+            predict_soup,
+            build_io,
+            faults,
+            height,
+        })
+    }
+
     /// The bulk-loaded index.
     #[must_use]
     pub fn tree(&self) -> &RTree {
@@ -257,10 +295,12 @@ impl<'a> Server<'a> {
                 // non-adjacent pages makes each access cost exactly one
                 // seek and one transfer, identical to `IoStats::random`,
                 // while `Disk::access` retry accounting applies unchanged.
-                let mut disk = Disk::new();
-                disk.set_fault_plan(Some(FaultPlan::new(
-                    fcfg.for_phase(FaultPhase::Query).derived(req.id),
-                )));
+                let mut disk = Disk::with_options(
+                    &DiskOptions::new()
+                        .fault_plan(Some(fcfg))
+                        .phase(FaultPhase::Query)
+                        .derived(req.id),
+                );
                 let file = match disk.alloc(4) {
                     Ok(f) => f,
                     Err(_) => return ExecResult::failed(),

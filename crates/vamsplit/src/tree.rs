@@ -149,6 +149,14 @@ impl RTree {
         }
     }
 
+    /// The full entry arena (point ids in leaf order) — the leaf ranges
+    /// in [`NodeKind::Leaf`] index into this slice. Exposed so storage
+    /// backends can serialize the tree without walking every leaf.
+    #[inline]
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+
     /// Total number of stored point ids.
     #[inline]
     pub fn num_entries(&self) -> usize {

@@ -7,4 +7,5 @@ pub use hdidx_faults as faults;
 pub use hdidx_model as model;
 pub use hdidx_pool as pool;
 pub use hdidx_serve as serve;
+pub use hdidx_store as store;
 pub use hdidx_vamsplit as vamsplit;
