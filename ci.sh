@@ -76,10 +76,20 @@ echo "==> serve_sweep --smoke (tail-latency experiment)"
 HDIDX_BENCH_OUT="$PWD/target/bench-smoke" \
   cargo run -q --release -p hdidx-bench --bin serve_sweep --offline -- --smoke
 
+# Crash-sweep chaos leg: a power cut between EVERY pair of I/O ops the
+# store issues (page-store histories and snapshot publishes), under all
+# three durability modes, re-run under two independent injection seeds
+# so a pass never hinges on one survival-roll pattern.
+for crash_seed in 11 20250809; do
+  echo "==> crash sweep (HDIDX_CRASH_SEED=${crash_seed}, all durability modes)"
+  HDIDX_CRASH_SEED="${crash_seed}" \
+    cargo test -q --offline -p hdidx-store --test crash_sweep
+done
+
 # File-backend smoke leg: the full persistence path through the CLI —
-# build on the file-backed page store, persist + fsync the snapshot,
-# reopen it and serve from the loaded tree. The store lives in a scratch
-# tempdir that is removed on exit however the script ends.
+# build on the file-backed page store, publish + fsync a snapshot
+# generation, reopen it and serve from the loaded tree. The store lives
+# in a scratch tempdir that is removed on exit however the script ends.
 echo "==> hdidx measure/serve --backend file (build -> fsync -> reopen -> serve)"
 FILE_STORE_DIR="$(mktemp -d)"
 trap 'rm -rf "${FILE_STORE_DIR}"' EXIT
@@ -90,8 +100,23 @@ cargo run -q --release -p hdidx-cli --offline -- serve \
   --data target/bench-smoke/t48.csv --m 200 --smoke --seed 5 \
   --backend file --store "${FILE_STORE_DIR}" --durability every-8
 
+# Scrub smoke leg: the offline scrubber over the store the previous leg
+# left behind — once clean, then after flipping a byte in the newest
+# generation's superblock (the scrub must fall back to the retained
+# previous generation and demote CURRENT), then clean again.
+echo "==> hdidx scrub (clean, corrupted-superblock fallback, clean)"
+cargo run -q --release -p hdidx-cli --offline -- scrub --store "${FILE_STORE_DIR}"
+printf '\xee' | dd of="${FILE_STORE_DIR}/index/gen-00000002/pages.db" \
+  bs=1 seek=40 conv=notrunc status=none
+cargo run -q --release -p hdidx-cli --offline -- scrub --store "${FILE_STORE_DIR}"
+cargo run -q --release -p hdidx-cli --offline -- scrub --store "${FILE_STORE_DIR}"
+
 echo "==> persist_roundtrip --smoke (charged vs wall clock per durability mode)"
 HDIDX_BENCH_OUT="$PWD/target/bench-smoke" \
   cargo run -q --release -p hdidx-bench --bin persist_roundtrip --offline -- --smoke
+
+echo "==> recovery_sweep --smoke (recovery + scrub throughput)"
+HDIDX_BENCH_OUT="$PWD/target/bench-smoke" \
+  cargo run -q --release -p hdidx-bench --bin recovery_sweep --offline -- --smoke
 
 echo "CI green."

@@ -159,6 +159,7 @@ fn main() {
             args.seed,
             None,
             built.io + reopen_io,
+            None,
         )
         .expect("server from snapshot");
         let report = server.run(&requests, &serve_cfg, &pool).expect("re-serve");

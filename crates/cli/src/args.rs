@@ -191,6 +191,14 @@ pub enum Command {
         /// WAL durability mode (file backend only).
         durability: Durability,
     },
+    /// Verify and repair an existing snapshot store offline.
+    Scrub {
+        /// Store directory (the same path passed as `--store` when the
+        /// snapshot was built).
+        store_dir: String,
+        /// WAL durability mode used when reopening generations.
+        durability: Durability,
+    },
     /// Generate a named dataset analog as CSV.
     Generate {
         /// Analog name (color64, texture48, texture60, isolet617,
@@ -234,17 +242,29 @@ USAGE:
                  [--threads N] [--smoke] [--backend sim|file] [--store <dir>]
                  [--durability per-batch|every-N|none]
                  [fault/retry flags as above]
+  hdidx scrub    --store <dir> [--durability per-batch|every-N|none]
   hdidx generate --dataset <name> [--scale 1.0] --out <csv>
 
 `--backend file` runs the build against the file-backed page store
 under `--store <dir>` (required): after the build, the index is
-persisted as a checksummed snapshot (`<dir>/index`), fsynced, reopened
-and verified, and `serve` then serves the loaded tree. Charged-model
-accounting is identical to the simulated backend; the report adds
-persist/reopen charged-model vs wall-clock seconds. `--durability`
-picks the write-ahead-log fsync cadence: `per-batch` (default, fsync
-every batch), `every-N` (e.g. `every-8`), or `none` (checkpoint only).
-Any previous snapshot under `--store` is replaced.
+persisted as a new checksummed snapshot generation (`<dir>/index/
+gen-XXXXXXXX`), committed by an atomic superblock swap, scrubbed,
+fsynced, reopened and verified, and `serve` then serves the loaded
+tree. Charged-model accounting is identical to the simulated backend;
+the report adds persist/reopen charged-model vs wall-clock seconds.
+`--durability` picks the write-ahead-log fsync cadence: `per-batch`
+(default, fsync every batch), `every-N` (e.g. `every-8`), or `none`
+(checkpoint only). Earlier generations under `--store` are retained
+(two most recent) so a scrub can fall back if the newest corrupts;
+older ones are garbage-collected after each commit.
+
+`scrub` verifies every page checksum in the current snapshot
+generation under `--store <dir>`, repairs corrupt pages from the
+write-ahead log where possible, quarantines the rest, and falls back
+to the previous retained generation when the current one cannot be
+made loadable — demoting the commit pointer so later opens see the
+good generation. It prints a one-line report and exits non-zero if no
+generation could be loaded.
 
 `serve` builds the index, generates an open-loop request stream on
 simulated time (`--rate` requests/s for `--duration` s; `--arrivals
@@ -667,6 +687,19 @@ impl Cli {
                     durability,
                 }
             }
+            "scrub" => {
+                opts.reject_unknown(&["store", "durability"])?;
+                let durability = match opts.get("durability") {
+                    None => Durability::PerBatch,
+                    Some(s) => {
+                        Durability::parse(s).map_err(|e| format!("option --durability: {e}"))?
+                    }
+                };
+                Command::Scrub {
+                    store_dir: opts.required("store")?,
+                    durability,
+                }
+            }
             "generate" => {
                 opts.reject_unknown(&["dataset", "scale", "out"])?;
                 Command::Generate {
@@ -925,6 +958,36 @@ mod tests {
             "predict --data d.csv --m 10 --backend file --store s",
             "compare --data d.csv --m 10 --backend sim",
             "info --data d.csv --store s",
+        ];
+        for args in bad {
+            assert!(Cli::parse(&argv(args)).is_err(), "should reject: {args}");
+        }
+    }
+
+    #[test]
+    fn parses_scrub() {
+        let cli = Cli::parse(&argv("scrub --store /tmp/st")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Scrub {
+                store_dir: "/tmp/st".into(),
+                durability: Durability::PerBatch,
+            }
+        );
+        let cli = Cli::parse(&argv("scrub --store s --durability every-4")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Scrub {
+                store_dir: "s".into(),
+                durability: Durability::EveryN(4),
+            }
+        );
+        let bad = [
+            "scrub",                              // --store is required
+            "scrub --durability none",            // still required
+            "scrub --store s --durability fsync", // unknown mode
+            "scrub --store s --backend file",     // no backend flag here
+            "scrub --store s --data d.csv",       // no data flag either
         ];
         for args in bad {
             assert!(Cli::parse(&argv(args)).is_err(), "should reject: {args}");

@@ -9,11 +9,11 @@ use hdidx_datagen::registry::NamedDataset;
 use hdidx_datagen::workload::Workload;
 use hdidx_diskio::external::{build_on_disk_in, ExternalConfig};
 use hdidx_diskio::measure::{measure_on_disk, measure_on_disk_in};
-use hdidx_diskio::{DiskModel, DiskOptions, IoStats, PageStore};
+use hdidx_diskio::{DiskModel, DiskOptions, IoStats};
 use hdidx_faults::{FaultConfig, FaultPhase, RetryPolicy};
 use hdidx_model::{hupper, Prediction, QueryBall};
 use hdidx_serve::{ArrivalModel, LoadGen, MixSpec, ServeConfig, Server};
-use hdidx_store::{load_index, persist_index, Durability, FileStore};
+use hdidx_store::{scrub_store_in, Durability, FileStore, OsFs, ScrubReport, SnapshotSet};
 use hdidx_vamsplit::topology::{PageConfig, Topology};
 use hdidx_vamsplit::tree::RTree;
 use std::fmt::Write as _;
@@ -34,6 +34,10 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             scale,
             out,
         } => generate(dataset, *scale, Path::new(out)),
+        Command::Scrub {
+            store_dir,
+            durability,
+        } => scrub(Path::new(store_dir), *durability),
         Command::Predict {
             data,
             page_bytes,
@@ -250,35 +254,41 @@ fn clear_dir(dir: &Path) -> Result<(), String> {
     Ok(())
 }
 
-/// Persists `tree` into a fresh file store under `<store_root>/index`,
-/// drops it, reopens, loads the snapshot back, and verifies the loaded
-/// arenas are bitwise identical to what went in. Returns the loaded tree,
-/// the I/O charged by the reopen (so callers can bill it as build I/O),
-/// and the human-readable persist/reopen report comparing charged-model
-/// seconds with wall-clock seconds.
+/// Publishes `tree` as a fresh snapshot generation under
+/// `<store_root>/index`, scrubs the committed generation, loads it back,
+/// and verifies the loaded arenas are bitwise identical to what went in.
+/// Earlier generations are retained (two, by default) and GC'd by the
+/// publish, so a crashed run always leaves the previous generation
+/// loadable. Returns the loaded tree, the I/O charged by the reopen (so
+/// callers can bill it as build I/O), the scrub report of the served
+/// generation, and the human-readable persist/scrub/reopen report
+/// comparing charged-model seconds with wall-clock seconds.
 fn persist_and_reopen(
     store_root: &Path,
     durability: Durability,
     tree: &RTree,
     disk: &DiskModel,
-) -> Result<(RTree, IoStats, String), String> {
-    let index_dir = store_root.join("index");
-    clear_dir(&index_dir)?;
+) -> Result<(RTree, IoStats, ScrubReport, String), String> {
+    let set =
+        SnapshotSet::open(&store_root.join("index"), durability).map_err(|e| e.to_string())?;
     let persist_clock = Instant::now();
-    let mut fresh =
-        FileStore::open(&index_dir, durability, &DiskOptions::new()).map_err(|e| e.to_string())?;
-    persist_index(&mut fresh, tree).map_err(|e| e.to_string())?;
+    let (generation, persist_io) = set
+        .publish(tree, &DiskOptions::new())
+        .map_err(|e| e.to_string())?;
     let persist_wall_s = persist_clock.elapsed().as_secs_f64();
-    let persist_io = fresh.stats();
-    let pages = fresh.pages();
-    drop(fresh);
 
+    let scrub_report = set.scrub(&DiskOptions::new()).map_err(|e| e.to_string())?;
     let reopen_clock = Instant::now();
-    let mut reopened =
-        FileStore::open(&index_dir, durability, &DiskOptions::new()).map_err(|e| e.to_string())?;
-    let (loaded, _) = load_index(&mut reopened).map_err(|e| e.to_string())?;
+    let (loaded, loaded_gen, reopen_io) =
+        set.load(&DiskOptions::new()).map_err(|e| e.to_string())?;
     let reopen_wall_s = reopen_clock.elapsed().as_secs_f64();
-    let reopen_io = reopened.stats();
+    if loaded_gen != generation {
+        return Err(format!(
+            "published generation {generation} but generation {loaded_gen} is serving \
+             (scrub fell back: {})",
+            scrub_report.fell_back
+        ));
+    }
     if loaded != *tree {
         return Err("reopened index differs from the tree that was persisted".to_string());
     }
@@ -286,17 +296,56 @@ fn persist_and_reopen(
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "persist: {pages} pages, durability {durability}, charged {:.3} s, wall {:.3} s",
+        "persist: generation {generation}, durability {durability}, charged {:.3} s, wall {:.3} s",
         disk.cost_seconds(persist_io),
         persist_wall_s
     );
+    let _ = writeln!(report, "scrub: {scrub_report}");
     let _ = writeln!(
         report,
         "reopen: verified identical, charged {:.3} s, wall {:.3} s",
         disk.cost_seconds(reopen_io),
         reopen_wall_s
     );
-    Ok((loaded, reopen_io, report))
+    Ok((loaded, reopen_io, scrub_report, report))
+}
+
+/// Offline scrub of a snapshot store: verifies every page checksum in
+/// the current generation, repairs from the WAL or quarantines, and
+/// falls back to (and re-commits) an older retained generation if the
+/// current one cannot be made loadable. Accepts either the `--store`
+/// root the index was built under (generations live in `<root>/index`),
+/// a snapshot-set directory itself, or a bare single-store directory
+/// containing `pages.db` directly.
+fn scrub(store_root: &Path, durability: Durability) -> Result<String, String> {
+    let index = store_root.join("index");
+    let set_root = if index.exists() {
+        index
+    } else {
+        store_root.to_path_buf()
+    };
+    if set_root.join("pages.db").exists() {
+        // A bare FileStore directory, no generation structure: scrub the
+        // pages in place against its own WAL; there is nothing to fall
+        // back to.
+        let report = scrub_store_in(&OsFs, &set_root).map_err(|e| e.to_string())?;
+        return Ok(format!(
+            "store: {} (bare)\nscrub: {report}\n",
+            set_root.display()
+        ));
+    }
+    if !set_root.exists() {
+        return Err(format!("no store at {}", store_root.display()));
+    }
+    let set = SnapshotSet::open(&set_root, durability).map_err(|e| e.to_string())?;
+    let report = set.scrub(&DiskOptions::new()).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "store: {}", set_root.display());
+    let _ = writeln!(out, "scrub: {report}");
+    if let Some(generation) = set.current().map_err(|e| e.to_string())? {
+        let _ = writeln!(out, "serving generation {generation}");
+    }
+    Ok(out)
 }
 
 fn load(data: &Path, page_bytes: usize) -> Result<(Dataset, Topology), String> {
@@ -486,9 +535,8 @@ fn measure(
     let workload =
         Workload::density_biased(&dataset, queries, k, seed).map_err(|e| e.to_string())?;
     let centers: Vec<Vec<f32>> = workload.queries.iter().map(|q| q.center.clone()).collect();
-    let cfg = ExternalConfig::with_mem_points(m)
-        .map_err(|e| e.to_string())?
-        .with_faults(faults);
+    let mut cfg = ExternalConfig::with_mem_points(m).map_err(|e| e.to_string())?;
+    cfg.faults = faults;
     let disk = DiskModel::paper_with_page_bytes(page_bytes);
     let (measured, backend_report) = match store.backend {
         Backend::Sim => (
@@ -510,7 +558,8 @@ fn measure(
             let measured = measure_on_disk_in(&mut fs, &dataset, &topo, &centers, k, &cfg)
                 .map_err(|e| e.to_string())?;
             drop(fs);
-            let (_, _, lines) = persist_and_reopen(root, store.durability, &measured.tree, &disk)?;
+            let (_, _, _, lines) =
+                persist_and_reopen(root, store.durability, &measured.tree, &disk)?;
             let report = format!("backend: file (store {})\n{lines}", root.display());
             (measured, Some(report))
         }
@@ -583,9 +632,8 @@ fn serve(args: &ServeArgs<'_>) -> Result<String, String> {
             let root = args.store.root()?;
             let scratch = root.join("scratch");
             clear_dir(&scratch)?;
-            let cfg = ExternalConfig::with_mem_points(args.m)
-                .map_err(|e| e.to_string())?
-                .with_faults(args.faults);
+            let mut cfg = ExternalConfig::with_mem_points(args.m).map_err(|e| e.to_string())?;
+            cfg.faults = args.faults;
             let mut fs = FileStore::open(
                 &scratch,
                 args.store.durability,
@@ -597,7 +645,7 @@ fn serve(args: &ServeArgs<'_>) -> Result<String, String> {
             let built =
                 build_on_disk_in(&mut fs, &dataset, &topo, &cfg).map_err(|e| e.to_string())?;
             drop(fs);
-            let (loaded, reopen_io, lines) =
+            let (loaded, reopen_io, scrub_report, lines) =
                 persist_and_reopen(root, args.store.durability, &built.tree, &disk)?;
             let server = Server::from_tree(
                 &dataset,
@@ -607,6 +655,7 @@ fn serve(args: &ServeArgs<'_>) -> Result<String, String> {
                 args.seed,
                 args.faults,
                 built.io + reopen_io,
+                Some(&scrub_report),
             )
             .map_err(|e| e.to_string())?;
             let report = format!("backend: file (store {})\n{lines}", root.display());
@@ -690,9 +739,8 @@ fn compare(
         .map(|q| QueryBall::new(q.center.clone(), q.radius))
         .collect();
     let centers: Vec<Vec<f32>> = workload.queries.iter().map(|q| q.center.clone()).collect();
-    let ext = ExternalConfig::with_mem_points(m)
-        .map_err(|e| e.to_string())?
-        .with_faults(faults);
+    let mut ext = ExternalConfig::with_mem_points(m).map_err(|e| e.to_string())?;
+    ext.faults = faults;
     let measured =
         measure_on_disk(&dataset, &topo, &centers, k, &ext).map_err(|e| e.to_string())?;
     let truth = measured.avg_leaf_accesses();
@@ -975,8 +1023,14 @@ mod tests {
         assert!(file.contains("persist:"), "{file}");
         assert!(file.contains("durability every-4"), "{file}");
         assert!(file.contains("reopen: verified identical"), "{file}");
-        // The snapshot outlives the run.
-        assert!(store.join("index").join("pages.db").exists());
+        // The snapshot outlives the run: a committed CURRENT pointer and
+        // the generation it names.
+        assert!(store.join("index").join("CURRENT").exists());
+        assert!(store
+            .join("index")
+            .join("gen-00000001")
+            .join("pages.db")
+            .exists());
 
         // Fault traces ride through the file backend unchanged too.
         let sim = run(&format!(
@@ -1008,6 +1062,78 @@ mod tests {
         .unwrap();
         assert!(file.starts_with(&sim), "sim:\n{sim}\nfile:\n{file}");
         assert!(file.contains("durability none"), "{file}");
+
+        // Repeat builds publish fresh generations; only the newest two
+        // survive GC.
+        let gens: Vec<String> = std::fs::read_dir(store.join("index"))
+            .unwrap()
+            .filter_map(|e| e.unwrap().file_name().into_string().ok())
+            .filter(|n| n.starts_with("gen-"))
+            .collect();
+        assert_eq!(gens.len(), 2, "GC keeps two generations: {gens:?}");
+
+        // The scrub subcommand reports the store clean and names the
+        // serving generation.
+        let out = run(&format!("scrub --store {}", store.display())).unwrap();
+        assert!(out.contains("scrub:"), "{out}");
+        assert!(out.contains("0 corrupt"), "{out}");
+        assert!(out.contains("serving generation 3"), "{out}");
+
+        std::fs::remove_dir_all(&store).ok();
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn scrub_falls_back_to_the_previous_generation_when_the_newest_corrupts() {
+        let csv = temp_csv("scrub_cli.csv");
+        run(&format!(
+            "generate --dataset texture48 --scale 0.2 --out {}",
+            csv.display()
+        ))
+        .unwrap();
+        let store = std::env::temp_dir().join(format!("hdidx_cli_scrub_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store);
+        // Two builds publish generations 1 and 2; GC retains both.
+        for _ in 0..2 {
+            run(&format!(
+                "measure --data {} --m 200 --queries 10 --k 5 --seed 2 \
+                 --backend file --store {}",
+                csv.display(),
+                store.display()
+            ))
+            .unwrap();
+        }
+
+        // Corrupt the committed generation's superblock beyond what the
+        // (checkpointed, empty) WAL can repair.
+        let pages = store.join("index").join("gen-00000002").join("pages.db");
+        let mut bytes = std::fs::read(&pages).unwrap();
+        bytes[40] ^= 0xEE;
+        std::fs::write(&pages, &bytes).unwrap();
+
+        // The scrub quarantines the page, finds generation 2 unloadable,
+        // and demotes CURRENT to the retained generation 1.
+        let out = run(&format!("scrub --store {}", store.display())).unwrap();
+        assert!(out.contains("fell back"), "{out}");
+        assert!(out.contains("serving generation 1"), "{out}");
+        // A second scrub is clean and stays on generation 1.
+        let out = run(&format!("scrub --store {}", store.display())).unwrap();
+        assert!(out.contains("0 corrupt"), "{out}");
+        assert!(out.contains("serving generation 1"), "{out}");
+
+        // A bare store directory (pages.db directly, no generations)
+        // scrubs in place.
+        let out = run(&format!(
+            "scrub --store {}",
+            store.join("index").join("gen-00000001").display()
+        ))
+        .unwrap();
+        assert!(out.contains("(bare)"), "{out}");
+        assert!(out.contains("0 corrupt"), "{out}");
+
+        // A missing store is an error, not a panic.
+        let gone = store.join("definitely_absent");
+        assert!(run(&format!("scrub --store {}", gone.display())).is_err());
 
         std::fs::remove_dir_all(&store).ok();
         std::fs::remove_file(&csv).ok();

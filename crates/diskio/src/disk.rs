@@ -15,8 +15,10 @@
 //!
 //! ## Fault injection
 //!
-//! A [`FaultPlan`] (from `hdidx-faults`) can be installed with
-//! [`Disk::set_fault_plan`]. Every [`Disk::access`] then runs a bounded
+//! A [`FaultPlan`] (from `hdidx-faults`) can be installed by constructing
+//! the disk with [`Disk::with_options`] over a
+//! [`DiskOptions`](crate::DiskOptions) builder carrying a fault
+//! configuration. Every [`Disk::access`] then runs a bounded
 //! retry loop: a transient fault burns one seek and loses the head
 //! position; a torn fault transfers (and charges) a prefix of the range
 //! before failing; a latency spike succeeds but charges extra seeks. Each
@@ -79,26 +81,14 @@ impl Disk {
         }
     }
 
-    /// A fresh disk configured by `opts` — the builder-style replacement
-    /// for `Disk::new()` + [`Disk::set_fault_plan`]. See
-    /// [`DiskOptions`](crate::DiskOptions) for the full resolution order
-    /// (explicit config → retry override → phase scaling → stream
-    /// derivation).
+    /// A fresh disk configured by `opts` — the sole way to install a
+    /// fault plan. See [`DiskOptions`](crate::DiskOptions) for the full
+    /// resolution order (explicit config → retry override → phase
+    /// scaling → stream derivation).
     pub fn with_options(opts: &crate::DiskOptions) -> Disk {
         let mut d = Disk::new();
         d.plan = opts.resolved_plan();
         d
-    }
-
-    /// Installs (or removes) a fault plan. Accesses made from here on run
-    /// through the plan's per-attempt decisions; `None` restores the ideal
-    /// device.
-    ///
-    /// **Deprecated:** prefer [`Disk::with_options`] with a
-    /// [`DiskOptions`](crate::DiskOptions) builder; this shim stays for
-    /// one release so external callers can migrate.
-    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
-        self.plan = plan;
     }
 
     /// The installed fault plan, if any.
@@ -580,8 +570,9 @@ mod tests {
     fn zero_rate_plan_is_byte_identical() {
         let mut ideal = Disk::new();
         let ideal_stats = run_pattern(&mut ideal);
-        let mut faulty = Disk::new();
-        faulty.set_fault_plan(Some(FaultPlan::new(FaultConfig::disabled(99))));
+        let mut faulty = Disk::with_options(
+            &crate::DiskOptions::new().fault_plan(Some(FaultConfig::disabled(99))),
+        );
         let stats = run_pattern(&mut faulty);
         assert_eq!(stats, ideal_stats);
         assert_eq!(stats.retries, 0);
@@ -595,8 +586,7 @@ mod tests {
             max_attempts: 3,
             ..FaultConfig::disabled(1)
         };
-        let mut d = Disk::new();
-        d.set_fault_plan(Some(FaultPlan::new(cfg)));
+        let mut d = Disk::with_options(&crate::DiskOptions::new().fault_plan(Some(cfg)));
         let f = d.alloc(8).unwrap();
         let err = d.access(&f, 0, 4).unwrap_err();
         assert_eq!(
@@ -628,8 +618,7 @@ mod tests {
             max_attempts: 1,
             ..FaultConfig::disabled(2)
         };
-        let mut d = Disk::new();
-        d.set_fault_plan(Some(FaultPlan::new(cfg)));
+        let mut d = Disk::with_options(&crate::DiskOptions::new().fault_plan(Some(cfg)));
         let f = d.alloc(16).unwrap();
         let err = d.access(&f, 0, 10).unwrap_err();
         // Regression: a `max_attempts = 1` plan must report the single
@@ -654,8 +643,7 @@ mod tests {
             spike_ppm: hdidx_faults::PPM_SCALE,
             ..FaultConfig::disabled(3)
         };
-        let mut d = Disk::new();
-        d.set_fault_plan(Some(FaultPlan::new(cfg)));
+        let mut d = Disk::with_options(&crate::DiskOptions::new().fault_plan(Some(cfg)));
         let f = d.alloc(8).unwrap();
         d.access(&f, 0, 4).unwrap();
         let s = d.stats();
@@ -669,8 +657,7 @@ mod tests {
         // 10 % transient per attempt with 4 attempts: over 200 accesses the
         // chance of any exhaustion is ~2 %, and seed 7 is pinned green.
         let cfg = FaultConfig::disabled(7).with_rate_ppm(100_000);
-        let mut d = Disk::new();
-        d.set_fault_plan(Some(FaultPlan::new(cfg)));
+        let mut d = Disk::with_options(&crate::DiskOptions::new().fault_plan(Some(cfg)));
         let f = d.alloc(200).unwrap();
         for p in 0..200 {
             d.access(&f, p, 1).unwrap();
@@ -693,8 +680,7 @@ mod tests {
             ..FaultConfig::disabled(1)
         };
         let run = || {
-            let mut d = Disk::new();
-            d.set_fault_plan(Some(FaultPlan::new(cfg)));
+            let mut d = Disk::with_options(&crate::DiskOptions::new().fault_plan(Some(cfg)));
             let f = d.alloc(8).unwrap();
             let err = d.access(&f, 0, 4).unwrap_err();
             assert!(matches!(
@@ -726,8 +712,7 @@ mod tests {
             retry: RetryPolicy::Budgeted { budget_seeks: 0 },
             ..FaultConfig::disabled(1)
         };
-        let mut d = Disk::new();
-        d.set_fault_plan(Some(FaultPlan::new(cfg)));
+        let mut d = Disk::with_options(&crate::DiskOptions::new().fault_plan(Some(cfg)));
         let f = d.alloc(8).unwrap();
         let err = d.access(&f, 0, 4).unwrap_err();
         assert_eq!(
@@ -746,8 +731,7 @@ mod tests {
             retry: RetryPolicy::Budgeted { budget_seeks: 1000 },
             ..cfg
         };
-        let mut d = Disk::new();
-        d.set_fault_plan(Some(FaultPlan::new(roomy)));
+        let mut d = Disk::with_options(&crate::DiskOptions::new().fault_plan(Some(roomy)));
         let f = d.alloc(8).unwrap();
         let err = d.access(&f, 0, 4).unwrap_err();
         assert!(matches!(
@@ -776,8 +760,7 @@ mod tests {
             max_attempts: 1,
             ..FaultConfig::disabled(seed).with_burst(Some(burst))
         };
-        let mut d = Disk::new();
-        d.set_fault_plan(Some(FaultPlan::new(cfg)));
+        let mut d = Disk::with_options(&crate::DiskOptions::new().fault_plan(Some(cfg)));
         let f = d.alloc(200).unwrap();
         let err = d.access(&f, 10, 100).unwrap_err();
         assert!(matches!(

@@ -78,18 +78,6 @@ impl ExternalConfig {
     pub fn with_mem_points(mem_points: usize) -> Result<Self> {
         ExternalConfig::new(mem_points, 8)
     }
-
-    /// Attaches (or clears) a fault-injection configuration.
-    ///
-    /// **Deprecated:** prefer configuring the backend itself with a
-    /// [`DiskOptions`] builder and calling [`build_on_disk_in`] /
-    /// [`crate::measure_on_disk_in`]; this shim stays for one release so
-    /// external callers can migrate.
-    #[must_use]
-    pub fn with_faults(mut self, faults: Option<FaultConfig>) -> Self {
-        self.faults = faults;
-        self
-    }
 }
 
 /// Result of an on-disk build: the tree plus the I/O consumed building it.
@@ -661,16 +649,22 @@ mod tests {
         let zero = build_on_disk(
             &data,
             &topo,
-            &base_cfg.with_faults(Some(FaultConfig::disabled(5))),
+            &ExternalConfig {
+                faults: Some(FaultConfig::disabled(5)),
+                ..base_cfg
+            },
         )
         .unwrap();
         assert_eq!(zero.io, plain.io);
         assert!(zero.fault_trace.is_empty());
         // Moderate fault pressure: build still succeeds (bounded retry),
         // costs strictly more, and is reproducible from the seed.
-        let fcfg = FaultConfig::disabled(5).with_rate_ppm(20_000);
-        let a = build_on_disk(&data, &topo, &base_cfg.with_faults(Some(fcfg))).unwrap();
-        let b = build_on_disk(&data, &topo, &base_cfg.with_faults(Some(fcfg))).unwrap();
+        let faulty_cfg = ExternalConfig {
+            faults: Some(FaultConfig::disabled(5).with_rate_ppm(20_000)),
+            ..base_cfg
+        };
+        let a = build_on_disk(&data, &topo, &faulty_cfg).unwrap();
+        let b = build_on_disk(&data, &topo, &faulty_cfg).unwrap();
         assert_eq!(a.io, b.io);
         assert_eq!(a.fault_trace, b.fault_trace);
         assert!(a.io.retries > 0, "2 % faults over a build must retry");

@@ -206,7 +206,10 @@ mod tests {
             &topo,
             &centers,
             9,
-            &base.with_faults(Some(FaultConfig::disabled(11))),
+            &ExternalConfig {
+                faults: Some(FaultConfig::disabled(11)),
+                ..base
+            },
         )
         .unwrap();
         assert_eq!(zero.build_io, plain.build_io);
@@ -214,7 +217,10 @@ mod tests {
         assert!(zero.fault_trace.is_empty());
         // Moderate faults: reproducible, same leaf counts, extra I/O.
         let fcfg = FaultConfig::disabled(11).with_rate_ppm(20_000);
-        let cfg = base.with_faults(Some(fcfg));
+        let cfg = ExternalConfig {
+            faults: Some(fcfg),
+            ..base
+        };
         let a = measure_on_disk(&data, &topo, &centers, 9, &cfg).unwrap();
         let b = measure_on_disk(&data, &topo, &centers, 9, &cfg).unwrap();
         assert_eq!(a.build_io, b.build_io);

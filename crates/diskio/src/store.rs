@@ -30,8 +30,8 @@ use hdidx_faults::{FaultConfig, FaultEvent, FaultPhase, FaultPlan, RetryPolicy};
 
 /// Builder for a configured disk/store: fault injection, retry policy,
 /// phase specialization and stream derivation in one value, replacing the
-/// former `Disk::new()` + `set_fault_plan(FaultPlan::new(cfg.for_phase(..)
-/// .derived(..)))` call chains (and the env-var sprawl around them).
+/// former by-hand `FaultPlan::new(cfg.for_phase(..)
+/// .derived(..))` call chains (and the env-var sprawl around them).
 ///
 /// Resolution order, applied by [`DiskOptions::resolved_config`]:
 ///
@@ -368,7 +368,7 @@ mod tests {
     }
 
     #[test]
-    fn with_options_matches_manual_plan_install() {
+    fn phase_resolution_matches_a_pre_resolved_config() {
         let fcfg = FaultConfig::disabled(3).with_rate_ppm(400_000);
         let run = |d: &mut Disk| {
             let f = d.alloc(64).unwrap();
@@ -377,8 +377,11 @@ mod tests {
             }
             (d.stats(), d.fault_trace().to_vec())
         };
-        let mut manual = Disk::new();
-        manual.set_fault_plan(Some(FaultPlan::new(fcfg.for_phase(FaultPhase::Build))));
+        // Resolving the phase by hand and letting the builder do it must
+        // install byte-identical plans.
+        let mut manual = Disk::with_options(
+            &DiskOptions::new().fault_plan(Some(fcfg.for_phase(FaultPhase::Build))),
+        );
         let mut built = Disk::with_options(
             &DiskOptions::new()
                 .fault_plan(Some(fcfg))

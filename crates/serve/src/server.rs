@@ -27,7 +27,7 @@ use crate::admission::AdmissionControl;
 use crate::latency::{LatencyRecorder, LatencySummary};
 use crate::request::{Query, Request};
 use hdidx_core::knn::scan_knn_radius;
-use hdidx_core::{Dataset, LeafSoup, Result};
+use hdidx_core::{Dataset, Error, LeafSoup, Result};
 use hdidx_diskio::disk::Disk;
 use hdidx_diskio::external::{build_on_disk, ExternalConfig};
 use hdidx_diskio::model::{DiskModel, IoStats};
@@ -36,6 +36,7 @@ use hdidx_faults::{FaultConfig, FaultPhase};
 use hdidx_model::hupper::recommended_h_upper;
 use hdidx_model::upper::build_upper_phase;
 use hdidx_pool::Pool;
+use hdidx_store::ScrubReport;
 use hdidx_vamsplit::topology::Topology;
 use hdidx_vamsplit::tree::RTree;
 
@@ -73,7 +74,6 @@ impl ServeConfig {
     ///
     /// [`hdidx_core::Error::InvalidParameter`] describing the violation.
     pub fn validate(&self) -> Result<()> {
-        use hdidx_core::Error;
         if self.concurrency == 0 {
             return Err(Error::invalid("concurrency", "must be at least 1"));
         }
@@ -181,7 +181,8 @@ impl<'a> Server<'a> {
         seed: u64,
         faults: Option<FaultConfig>,
     ) -> Result<Server<'a>> {
-        let cfg = ExternalConfig::with_mem_points(m)?.with_faults(faults);
+        let mut cfg = ExternalConfig::with_mem_points(m)?;
+        cfg.faults = faults;
         let built = build_on_disk(data, topo, &cfg)?;
         let leaf_soup = LeafSoup::from_rects(topo.dim(), &built.tree.leaf_rects())?;
         let h_upper = recommended_h_upper(topo, m)?;
@@ -207,10 +208,18 @@ impl<'a> Server<'a> {
     /// file-backend round-trip tests). `build_io` is whatever the caller
     /// wants reported — typically the I/O charged loading the snapshot.
     ///
+    /// `scrub` is the [`ScrubReport`] of the generation the tree was
+    /// loaded from, when the caller ran a scrub-and-repair pass first.
+    /// A report with quarantined pages is refused: quarantining zeroes
+    /// a page nothing could re-materialize, so even a tree that *loads*
+    /// may silently misreport data — serving it would turn detected
+    /// corruption into wrong answers.
+    ///
     /// # Errors
     ///
     /// Propagates soup and upper-phase errors (shape mismatches,
-    /// infeasible `m`).
+    /// infeasible `m`); refuses a scrub report with quarantined pages.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_tree(
         data: &'a Dataset,
         topo: &Topology,
@@ -219,7 +228,19 @@ impl<'a> Server<'a> {
         seed: u64,
         faults: Option<FaultConfig>,
         build_io: IoStats,
+        scrub: Option<&ScrubReport>,
     ) -> Result<Server<'a>> {
+        if let Some(report) = scrub {
+            if report.pages_quarantined > 0 {
+                return Err(Error::StoreFailure {
+                    op: "serve reopen",
+                    detail: format!(
+                        "refusing to serve generation {:?}: scrub quarantined {} of {} pages",
+                        report.generation, report.pages_quarantined, report.pages_scanned
+                    ),
+                });
+            }
+        }
         let leaf_soup = LeafSoup::from_rects(topo.dim(), &tree.leaf_rects())?;
         let h_upper = recommended_h_upper(topo, m)?;
         let up = build_upper_phase(data, topo, m, h_upper, seed)?;

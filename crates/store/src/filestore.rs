@@ -34,6 +34,7 @@
 //! (no flush, no fsync): a drop *is* the crash model the recovery tests
 //! rely on.
 
+use crate::inject::{OsFs, Vfs};
 use crate::pagefile::{PageFile, PAYLOAD_BYTES};
 use crate::wal::Wal;
 use crate::Durability;
@@ -42,6 +43,7 @@ use hdidx_diskio::{Disk, DiskOptions, FileHandle, IoStats, PageStore};
 use hdidx_faults::FaultEvent;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File-backed page store with WAL durability. See the module docs.
 #[derive(Debug)]
@@ -70,14 +72,30 @@ impl FileStore {
     /// OS errors, or corruption that recovery cannot repair (a bad
     /// checksum on a page no surviving WAL batch covers).
     pub fn open(dir: &Path, durability: Durability, opts: &DiskOptions) -> Result<FileStore> {
-        std::fs::create_dir_all(dir).map_err(|e| crate::io_err("store mkdir", e))?;
-        let mut wal = Wal::open(&dir.join("wal.log"))?;
+        FileStore::open_in(Arc::new(OsFs), dir, durability, opts)
+    }
+
+    /// [`FileStore::open`] against a caller-supplied filesystem (e.g.
+    /// the crash-injected [`InjectedFs`](crate::InjectedFs)).
+    ///
+    /// # Errors
+    ///
+    /// As [`FileStore::open`].
+    pub fn open_in(
+        fs: Arc<dyn Vfs>,
+        dir: &Path,
+        durability: Durability,
+        opts: &DiskOptions,
+    ) -> Result<FileStore> {
+        fs.create_dir_all(dir)
+            .map_err(|e| crate::io_err("store mkdir", e))?;
+        let mut wal = Wal::open_in(&*fs, &dir.join("wal.log"))?;
         let batches = wal.recover()?;
         let covered: std::collections::BTreeSet<u64> = batches
             .iter()
             .flat_map(|b| b.frames.iter().map(|f| f.page_no))
             .collect();
-        let mut pagefile = PageFile::open_deferred(&dir.join("pages.db"))?;
+        let mut pagefile = PageFile::open_deferred_in(&*fs, &dir.join("pages.db"))?;
         pagefile.verify_skipping(|p| covered.contains(&p))?;
         for batch in &batches {
             for frame in &batch.frames {
@@ -86,6 +104,11 @@ impl FileStore {
         }
         pagefile.sync()?;
         wal.truncate()?;
+        // The files' *directory entries* must be durable before any WAL
+        // fsync can promise anything: a fully fsynced wal.log still
+        // vanishes in a power cut if the directory was never synced.
+        fs.sync_dir(dir)
+            .map_err(|e| crate::io_err("store dir fsync", e))?;
 
         let mut model = Disk::with_options(opts);
         if pagefile.pages() > 0 {

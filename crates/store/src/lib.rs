@@ -25,13 +25,17 @@
 //! only.
 
 pub mod filestore;
+pub mod inject;
 pub mod pagefile;
+pub mod scrub;
 pub mod snapshot;
 pub mod wal;
 
 pub use filestore::FileStore;
+pub use inject::{InjectSpec, InjectedFs, OsFs, Vfs, VfsFile};
 pub use pagefile::{PageFile, HEADER_BYTES, PAGE_BYTES, PAYLOAD_BYTES};
-pub use snapshot::{load_index, persist_index};
+pub use scrub::{scrub_store_in, ScrubReport};
+pub use snapshot::{load_index, persist_index, SnapshotSet};
 pub use wal::Wal;
 
 use hdidx_core::{Error, Result};

@@ -19,10 +19,9 @@
 //! verification pass ([`PageFile::verify`]) is what turns a crash mid
 //! `write(2)` into a detected error instead of silent corruption.
 
+use crate::inject::{OsFs, Vfs, VfsFile};
 use crate::{fnv1a, io_err, FNV_OFFSET};
 use hdidx_core::{Error, Result};
-use std::fs::{File, OpenOptions};
-use std::os::unix::fs::FileExt;
 use std::path::Path;
 
 /// On-disk page size, fixed at the paper's 8 KiB.
@@ -44,7 +43,7 @@ fn page_checksum(page_no: u64, payload: &[u8]) -> u64 {
 /// A page-granular file of checksummed 8 KiB pages.
 #[derive(Debug)]
 pub struct PageFile {
-    file: File,
+    file: Box<dyn VfsFile>,
     /// High-water mark: number of page slots the file currently spans.
     pages: u64,
 }
@@ -74,17 +73,18 @@ impl PageFile {
     /// OS errors, or a file length that is not a multiple of
     /// [`PAGE_BYTES`].
     pub fn open_deferred(path: &Path) -> Result<PageFile> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)
-            .map_err(|e| io_err("pagefile open", e))?;
-        let len = file
-            .metadata()
-            .map_err(|e| io_err("pagefile stat", e))?
-            .len();
+        PageFile::open_deferred_in(&OsFs, path)
+    }
+
+    /// [`PageFile::open_deferred`] against a caller-supplied filesystem
+    /// (e.g. the crash-injected [`InjectedFs`](crate::InjectedFs)).
+    ///
+    /// # Errors
+    ///
+    /// As [`PageFile::open_deferred`].
+    pub fn open_deferred_in(fs: &dyn Vfs, path: &Path) -> Result<PageFile> {
+        let file = fs.open(path).map_err(|e| io_err("pagefile open", e))?;
+        let len = file.len().map_err(|e| io_err("pagefile stat", e))?;
         if len % PAGE_BYTES as u64 != 0 {
             return Err(Error::StoreFailure {
                 op: "pagefile open",
@@ -129,6 +129,35 @@ impl PageFile {
             self.read_raw(p, &mut buf)?;
             Self::decode(p, &buf)?;
         }
+        Ok(())
+    }
+
+    /// Verifies a single page slot (header + checksum, or all-zero).
+    ///
+    /// # Errors
+    ///
+    /// OS errors and verification failures — the per-page probe the
+    /// scrub pass uses to find corrupt or torn pages.
+    pub fn check_page(&self, page_no: u64) -> Result<()> {
+        let mut buf = [0u8; PAGE_BYTES];
+        self.read_raw(page_no, &mut buf)?;
+        Self::decode(page_no, &buf).map(|_| ())
+    }
+
+    /// Quarantines page `page_no`: overwrites the whole slot with zeros,
+    /// turning it back into an "unwritten" page that reads as an empty
+    /// payload and passes verification. Used by the scrub pass for
+    /// corrupt pages no redo source can re-materialize.
+    ///
+    /// # Errors
+    ///
+    /// OS errors.
+    pub fn quarantine(&mut self, page_no: u64) -> Result<()> {
+        let zeros = [0u8; PAGE_BYTES];
+        self.file
+            .write_all_at(&zeros, page_no * PAGE_BYTES as u64)
+            .map_err(|e| io_err("pagefile quarantine", e))?;
+        self.pages = self.pages.max(page_no + 1);
         Ok(())
     }
 
@@ -240,6 +269,7 @@ impl PageFile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
     use std::io::{Seek, SeekFrom, Write};
 
     fn tmpdir(name: &str) -> std::path::PathBuf {

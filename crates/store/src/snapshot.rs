@@ -38,11 +38,36 @@
 //! Loading requires a byte-carrying backend (the file store); on the
 //! simulated backend reads return no bytes and the superblock check
 //! fails, by design.
+//!
+//! ## Versioned generations ([`SnapshotSet`])
+//!
+//! A single store directory can only ever hold one index, and
+//! re-persisting means clobbering the previous one — a crash mid-write
+//! loses both. [`SnapshotSet`] lifts persistence to *generations*: each
+//! [`SnapshotSet::publish`] writes a complete new store under
+//! `gen-<N>/` **beside** the old one and then commits by swapping the
+//! `CURRENT` superblock file. The swap is the sole commit point:
+//!
+//! 1. the new generation is written and checkpointed in its own
+//!    directory (the old generation is never touched),
+//! 2. the inactive slot of the two-slot `CURRENT` file is overwritten
+//!    with the new generation number, fsynced, and the *root directory*
+//!    is fsynced — LMDB-style ping-pong, so a torn `CURRENT` write can
+//!    only corrupt the slot that was not current,
+//! 3. only once the swap is durable are superseded generations GC'd.
+//!
+//! A crash at any operation therefore leaves either the old or the new
+//! generation fully loadable.
 
+use crate::inject::{OsFs, Vfs};
 use crate::pagefile::PAYLOAD_BYTES;
+use crate::scrub::{scrub_store_in, ScrubReport};
+use crate::{fnv1a, Durability, FileStore, FNV_OFFSET};
 use hdidx_core::{Error, HyperRect, Result};
-use hdidx_diskio::{FileHandle, PageStore};
+use hdidx_diskio::{DiskOptions, FileHandle, IoStats, PageStore};
 use hdidx_vamsplit::tree::{Node, NodeKind, RTree};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const SNAP_MAGIC: u64 = 0x4844_4958_534E_4150; // "HDIXSNAP"
 const VERSION: u64 = 1;
@@ -282,9 +307,330 @@ pub fn load_index(store: &mut dyn PageStore) -> Result<(RTree, FileHandle)> {
     Ok((tree, f))
 }
 
+const CUR_MAGIC: u64 = 0x4844_4958_4355_5252; // "HDIXCURR"
+/// Bytes per `CURRENT` slot: magic, version, commit sequence,
+/// generation, checksum.
+const SLOT_BYTES: usize = 40;
+
+/// Encodes one `CURRENT` slot: the `seq`-th commit, pointing at
+/// `generation`. The sequence (not the generation) decides which slot
+/// is newest, so a commit can *demote* to an older generation — which
+/// is what a scrub fallback does.
+fn encode_slot(seq: u64, generation: u64) -> [u8; SLOT_BYTES] {
+    let mut slot = [0u8; SLOT_BYTES];
+    slot[0..8].copy_from_slice(&CUR_MAGIC.to_le_bytes());
+    slot[8..16].copy_from_slice(&VERSION.to_le_bytes());
+    slot[16..24].copy_from_slice(&seq.to_le_bytes());
+    slot[24..32].copy_from_slice(&generation.to_le_bytes());
+    let sum = fnv1a(FNV_OFFSET, &slot[0..32]);
+    slot[32..40].copy_from_slice(&sum.to_le_bytes());
+    slot
+}
+
+/// Decodes one `CURRENT` slot into `(seq, generation)`, `None` if
+/// torn/blank/checksum-bad.
+fn decode_slot(slot: &[u8]) -> Option<(u64, u64)> {
+    if slot.len() < SLOT_BYTES {
+        return None;
+    }
+    let word = |i: usize| u64::from_le_bytes(slot[i * 8..i * 8 + 8].try_into().unwrap());
+    if word(0) != CUR_MAGIC || word(1) != VERSION {
+        return None;
+    }
+    if fnv1a(FNV_OFFSET, &slot[0..32]) != word(4) {
+        return None;
+    }
+    Some((word(2), word(3)))
+}
+
+/// A root directory of versioned index snapshots with a two-slot
+/// `CURRENT` commit file. See the module docs for the commit protocol.
+#[derive(Debug)]
+pub struct SnapshotSet {
+    fs: Arc<dyn Vfs>,
+    root: PathBuf,
+    durability: Durability,
+    /// How many generations (including the current one) GC retains.
+    keep: u64,
+}
+
+impl SnapshotSet {
+    /// Opens (creating if missing) the snapshot set rooted at `root` on
+    /// the real filesystem.
+    ///
+    /// # Errors
+    ///
+    /// OS errors.
+    pub fn open(root: &Path, durability: Durability) -> Result<SnapshotSet> {
+        SnapshotSet::open_in(Arc::new(OsFs), root, durability)
+    }
+
+    /// [`SnapshotSet::open`] against a caller-supplied filesystem.
+    ///
+    /// # Errors
+    ///
+    /// OS errors.
+    pub fn open_in(fs: Arc<dyn Vfs>, root: &Path, durability: Durability) -> Result<SnapshotSet> {
+        fs.create_dir_all(root)
+            .map_err(|e| crate::io_err("snapshot-set mkdir", e))?;
+        Ok(SnapshotSet {
+            fs,
+            root: root.to_path_buf(),
+            durability,
+            keep: 2,
+        })
+    }
+
+    /// Sets how many generations GC retains (minimum 1, the current).
+    #[must_use]
+    pub fn with_keep(mut self, keep: u64) -> SnapshotSet {
+        self.keep = keep.max(1);
+        self
+    }
+
+    /// The set's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn current_path(&self) -> PathBuf {
+        self.root.join("CURRENT")
+    }
+
+    fn gen_dir(&self, generation: u64) -> PathBuf {
+        self.root.join(format!("gen-{generation:08}"))
+    }
+
+    /// Reads both `CURRENT` slots; returns `(seq, generation,
+    /// slot_index)` of the newest (highest-sequence) valid one.
+    fn read_slots(&self) -> Result<Option<(u64, u64, usize)>> {
+        if !self.fs.exists(&self.current_path()) {
+            return Ok(None);
+        }
+        let f = self
+            .fs
+            .open(&self.current_path())
+            .map_err(|e| crate::io_err("snapshot CURRENT open", e))?;
+        let len = f
+            .len()
+            .map_err(|e| crate::io_err("snapshot CURRENT len", e))? as usize;
+        let mut bytes = vec![0u8; len.min(2 * SLOT_BYTES)];
+        if !bytes.is_empty() {
+            f.read_exact_at(&mut bytes, 0)
+                .map_err(|e| crate::io_err("snapshot CURRENT read", e))?;
+        }
+        let mut best: Option<(u64, u64, usize)> = None;
+        for (i, slot) in bytes.chunks(SLOT_BYTES).enumerate() {
+            if let Some((seq, g)) = decode_slot(slot) {
+                if best.is_none_or(|(bseq, _, _)| seq > bseq) {
+                    best = Some((seq, g, i));
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// The committed current generation, if any.
+    ///
+    /// # Errors
+    ///
+    /// OS errors; a torn or missing `CURRENT` is `Ok(None)`, not an
+    /// error.
+    pub fn current(&self) -> Result<Option<u64>> {
+        Ok(self.read_slots()?.map(|(_, g, _)| g))
+    }
+
+    /// Every `gen-*` directory present under the root, sorted ascending
+    /// — committed or not (a stray from a crashed publish lists too).
+    ///
+    /// # Errors
+    ///
+    /// OS errors.
+    pub fn generations(&self) -> Result<Vec<u64>> {
+        let mut gens = Vec::new();
+        for p in self
+            .fs
+            .list_dir(&self.root)
+            .map_err(|e| crate::io_err("snapshot-set list", e))?
+        {
+            if let Some(rest) = p
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_prefix("gen-"))
+            {
+                if let Ok(g) = rest.parse::<u64>() {
+                    gens.push(g);
+                }
+            }
+        }
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// Makes `generation` the committed current one: writes the
+    /// *inactive* `CURRENT` slot, fsyncs the file, fsyncs the root
+    /// directory. This is the sole commit point of a publish.
+    fn commit(&self, generation: u64) -> Result<()> {
+        let active = self.read_slots()?;
+        // Ping-pong: never overwrite the slot readers would fall back to.
+        let slot_index = match active {
+            Some((_, _, 0)) => 1,
+            _ => 0,
+        };
+        let seq = active.map_or(1, |(s, _, _)| s + 1);
+        let mut f = self
+            .fs
+            .open(&self.current_path())
+            .map_err(|e| crate::io_err("snapshot CURRENT open", e))?;
+        f.write_all_at(
+            &encode_slot(seq, generation),
+            (slot_index * SLOT_BYTES) as u64,
+        )
+        .map_err(|e| crate::io_err("snapshot CURRENT write", e))?;
+        f.sync_all()
+            .map_err(|e| crate::io_err("snapshot CURRENT fsync", e))?;
+        self.fs
+            .sync_dir(&self.root)
+            .map_err(|e| crate::io_err("snapshot-set dir fsync", e))?;
+        Ok(())
+    }
+
+    /// Removes every generation directory outside the newest
+    /// [`keep`](SnapshotSet::with_keep) committed-or-older ones. Runs
+    /// only after a commit is durable; never touches the current
+    /// generation.
+    fn gc(&self, current: u64) -> Result<()> {
+        let gens = self.generations()?;
+        let keep_floor = {
+            // The `keep` newest generations ≤ current survive.
+            let mut kept = 0u64;
+            let mut floor = current;
+            for &g in gens.iter().rev() {
+                if g > current {
+                    continue;
+                }
+                kept += 1;
+                floor = g;
+                if kept == self.keep {
+                    break;
+                }
+            }
+            floor
+        };
+        for &g in &gens {
+            // Below the retention floor, or a stray newer than the
+            // commit we just made durable (a crashed publish's leftovers).
+            if g < keep_floor || g > current {
+                self.fs
+                    .remove_dir_all(&self.gen_dir(g))
+                    .map_err(|e| crate::io_err("snapshot-set gc", e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Persists `tree` as a fresh generation and commits it. Returns the
+    /// new generation number and the I/O bill the write charged.
+    ///
+    /// # Errors
+    ///
+    /// OS errors; the previous current generation stays committed unless
+    /// the `CURRENT` swap itself completed.
+    pub fn publish(&self, tree: &RTree, opts: &DiskOptions) -> Result<(u64, IoStats)> {
+        let committed = self.current()?;
+        let next = self
+            .generations()?
+            .last()
+            .copied()
+            .max(committed)
+            .map_or(1, |g| g + 1);
+        let dir = self.gen_dir(next);
+        let mut store = FileStore::open_in(Arc::clone(&self.fs), &dir, self.durability, opts)?;
+        persist_index(&mut store, tree)?;
+        let io = store.stats();
+        drop(store);
+        self.commit(next)?;
+        self.gc(next)?;
+        Ok((next, io))
+    }
+
+    /// Loads the committed current generation. Returns the tree, its
+    /// generation number, and the I/O bill the load charged.
+    ///
+    /// # Errors
+    ///
+    /// No committed generation, or any load failure (see
+    /// [`load_index`]); use [`SnapshotSet::scrub`] to repair or fall
+    /// back first.
+    pub fn load(&self, opts: &DiskOptions) -> Result<(RTree, u64, IoStats)> {
+        let generation = self.current()?.ok_or(Error::StoreFailure {
+            op: "snapshot-set load",
+            detail: "no committed generation (CURRENT missing or torn)".to_string(),
+        })?;
+        let mut store = FileStore::open_in(
+            Arc::clone(&self.fs),
+            &self.gen_dir(generation),
+            self.durability,
+            opts,
+        )?;
+        let (tree, _) = load_index(&mut store)?;
+        Ok((tree, generation, store.stats()))
+    }
+
+    /// Scrubs the committed current generation
+    /// ([`scrub_store_in`] + a load check) and, if it still does not
+    /// load, falls back generation by generation to the newest older one
+    /// that does — demoting `CURRENT` to it, so subsequent
+    /// [`SnapshotSet::load`]s serve the fallback.
+    ///
+    /// # Errors
+    ///
+    /// No committed generation, or no generation loads at all.
+    pub fn scrub(&self, opts: &DiskOptions) -> Result<ScrubReport> {
+        let current = self.current()?.ok_or(Error::StoreFailure {
+            op: "snapshot-set scrub",
+            detail: "no committed generation (CURRENT missing or torn)".to_string(),
+        })?;
+        let mut candidates: Vec<u64> = self
+            .generations()?
+            .into_iter()
+            .filter(|&g| g <= current)
+            .collect();
+        candidates.sort_unstable_by(|a, b| b.cmp(a)); // newest first
+        let mut first_err: Option<Error> = None;
+        for g in candidates {
+            let mut report = scrub_store_in(&*self.fs, &self.gen_dir(g))?;
+            report.generation = Some(g);
+            report.fell_back = g != current;
+            let loads = FileStore::open_in(
+                Arc::clone(&self.fs),
+                &self.gen_dir(g),
+                self.durability,
+                opts,
+            )
+            .and_then(|mut store| load_index(&mut store));
+            match loads {
+                Ok(_) => {
+                    if report.fell_back {
+                        self.commit(g)?;
+                    }
+                    return Ok(report);
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        Err(first_err.unwrap_or(Error::StoreFailure {
+            op: "snapshot-set scrub",
+            detail: format!("generation {current} committed but its directory is gone"),
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::inject::InjectedFs;
     use crate::{Durability, FileStore};
     use hdidx_diskio::DiskOptions;
 
@@ -376,5 +722,97 @@ mod tests {
             "entry arena (reversed ids) starts at page 1"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A second tree distinguishable from [`sample_tree`] (entry order).
+    fn other_tree() -> RTree {
+        let mut nodes = sample_tree().nodes().to_vec();
+        nodes.truncate(4);
+        RTree::from_arenas(2, 2, 1, nodes, (0..9).collect()).unwrap()
+    }
+
+    #[test]
+    fn publish_load_and_gc_cycle_generations() {
+        let fs = InjectedFs::clean();
+        let set =
+            SnapshotSet::open_in(Arc::new(fs), &PathBuf::from("/snaps"), Durability::PerBatch)
+                .unwrap()
+                .with_keep(2);
+        assert_eq!(set.current().unwrap(), None);
+        assert!(
+            set.load(&DiskOptions::new()).is_err(),
+            "nothing committed yet"
+        );
+
+        let (g1, _) = set.publish(&sample_tree(), &DiskOptions::new()).unwrap();
+        assert_eq!(g1, 1);
+        let (t, g, _) = set.load(&DiskOptions::new()).unwrap();
+        assert_eq!((t, g), (sample_tree(), 1));
+
+        let (g2, _) = set.publish(&other_tree(), &DiskOptions::new()).unwrap();
+        assert_eq!(g2, 2);
+        let (t, g, _) = set.load(&DiskOptions::new()).unwrap();
+        assert_eq!((t, g), (other_tree(), 2));
+        assert_eq!(
+            set.generations().unwrap(),
+            vec![1, 2],
+            "keep=2 retains both"
+        );
+
+        let (g3, _) = set.publish(&sample_tree(), &DiskOptions::new()).unwrap();
+        assert_eq!(g3, 3);
+        assert_eq!(set.generations().unwrap(), vec![2, 3], "generation 1 GC'd");
+    }
+
+    #[test]
+    fn a_torn_current_slot_still_reads_the_other_slot() {
+        let fs = InjectedFs::clean();
+        let root = PathBuf::from("/snaps");
+        let set = SnapshotSet::open_in(Arc::new(fs.clone()), &root, Durability::PerBatch).unwrap();
+        set.publish(&sample_tree(), &DiskOptions::new()).unwrap();
+        set.publish(&other_tree(), &DiskOptions::new()).unwrap();
+        // Generation 2 lives in the slot written second; corrupt it.
+        let (_, _, active) = set.read_slots().unwrap().unwrap();
+        let mut f = fs.open(&root.join("CURRENT")).unwrap();
+        f.write_all_at(&[0xEE], (active * SLOT_BYTES + 20) as u64)
+            .unwrap();
+        assert_eq!(
+            set.current().unwrap(),
+            Some(1),
+            "ping-pong: the untouched slot still commits generation 1"
+        );
+        let (t, g, _) = set.load(&DiskOptions::new()).unwrap();
+        assert_eq!((t, g), (sample_tree(), 1));
+    }
+
+    #[test]
+    fn scrub_falls_back_to_an_older_generation_and_demotes_current() {
+        let fs = InjectedFs::clean();
+        let root = PathBuf::from("/snaps");
+        let set = SnapshotSet::open_in(Arc::new(fs.clone()), &root, Durability::PerBatch).unwrap();
+        set.publish(&sample_tree(), &DiskOptions::new()).unwrap();
+        let (g2, _) = set.publish(&other_tree(), &DiskOptions::new()).unwrap();
+        // Destroy generation 2's superblock beyond repair (empty WAL).
+        let mut f = fs.open(&root.join("gen-00000002/pages.db")).unwrap();
+        f.write_all_at(&[0xEE], 40).unwrap();
+
+        let report = set.scrub(&DiskOptions::new()).unwrap();
+        assert!(report.fell_back, "{report}");
+        assert_eq!(report.generation, Some(1), "{report}");
+        assert_eq!(set.current().unwrap(), Some(1), "CURRENT demoted");
+        let (t, g, _) = set.load(&DiskOptions::new()).unwrap();
+        assert_eq!((t, g), (sample_tree(), 1));
+        assert!(g < g2);
+    }
+
+    #[test]
+    fn a_clean_set_scrubs_clean_on_the_real_filesystem() {
+        let root = tmpdir("set_os");
+        let set = SnapshotSet::open(&root, Durability::PerBatch).unwrap();
+        set.publish(&sample_tree(), &DiskOptions::new()).unwrap();
+        let report = set.scrub(&DiskOptions::new()).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.generation, Some(1));
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -32,10 +32,9 @@
 //! end of the last complete commit. A crash mid-batch therefore loses
 //! exactly the uncommitted tail, never a committed batch that was synced.
 
+use crate::inject::{OsFs, Vfs, VfsFile};
 use crate::{fnv1a, io_err, FNV_OFFSET};
 use hdidx_core::{Error, Result};
-use std::fs::{File, OpenOptions};
-use std::os::unix::fs::FileExt;
 use std::path::Path;
 
 const REC_MAGIC: u64 = 0x4844_4958_5F57_414C; // "HDIX_WAL"
@@ -67,7 +66,7 @@ fn frame_checksum(page_no: u64, payload: &[u8]) -> u64 {
 /// Append-only write-ahead log over a single file.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
     /// Current append offset (== logical file length).
     len: u64,
     /// Sequence number the next commit will carry.
@@ -85,14 +84,18 @@ impl Wal {
     ///
     /// OS errors.
     pub fn open(path: &Path) -> Result<Wal> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)
-            .map_err(|e| io_err("wal open", e))?;
-        let len = file.metadata().map_err(|e| io_err("wal stat", e))?.len();
+        Wal::open_in(&OsFs, path)
+    }
+
+    /// [`Wal::open`] against a caller-supplied filesystem (e.g. the
+    /// crash-injected [`InjectedFs`](crate::InjectedFs)).
+    ///
+    /// # Errors
+    ///
+    /// OS errors.
+    pub fn open_in(fs: &dyn Vfs, path: &Path) -> Result<Wal> {
+        let file = fs.open(path).map_err(|e| io_err("wal open", e))?;
+        let len = file.len().map_err(|e| io_err("wal stat", e))?;
         Ok(Wal {
             file,
             len,

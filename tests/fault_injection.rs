@@ -21,8 +21,8 @@ use hdidx_repro::core::rng::{seeded, Rng};
 use hdidx_repro::core::Dataset;
 use hdidx_repro::diskio::external::{build_on_disk, ExternalConfig};
 use hdidx_repro::diskio::measure::measure_on_disk;
-use hdidx_repro::diskio::Disk;
-use hdidx_repro::faults::{BurstConfig, FaultConfig, FaultPlan, RetryPolicy};
+use hdidx_repro::diskio::{Disk, DiskOptions};
+use hdidx_repro::faults::{BurstConfig, FaultConfig, RetryPolicy};
 use hdidx_repro::model::{QueryBall, Resampled, ResampledParams};
 use hdidx_repro::vamsplit::topology::{PageConfig, Topology};
 
@@ -55,7 +55,10 @@ fn zero_fault_plan_is_byte_identical_across_the_stack() {
     let centers: Vec<Vec<f32>> = (0..15).map(|i| data.point(i * 311).to_vec()).collect();
     let queries = workload(&data, 25);
     let base = ExternalConfig::with_mem_points(900).unwrap();
-    let zeroed = base.with_faults(Some(FaultConfig::disabled(77)));
+    let zeroed = ExternalConfig {
+        faults: Some(FaultConfig::disabled(77)),
+        ..base
+    };
 
     // External build: identical tree and I/O, empty trace.
     let plain = build_on_disk(&data, &topo, &base).unwrap();
@@ -197,9 +200,8 @@ fn same_seed_reproduces_faults_for_any_thread_count() {
     // hard `IoFault` — so it runs at a gentler rate that bounded retry
     // always absorbs.
     let centers: Vec<Vec<f32>> = (0..10).map(|i| data.point(i * 419).to_vec()).collect();
-    let cfg = ExternalConfig::with_mem_points(1_200)
-        .unwrap()
-        .with_faults(Some(fcfg.with_rate_ppm(30_000)));
+    let mut cfg = ExternalConfig::with_mem_points(1_200).unwrap();
+    cfg.faults = Some(fcfg.with_rate_ppm(30_000));
     let a = measure_on_disk(&data, &topo, &centers, 7, &cfg).unwrap();
     let b = measure_on_disk(&data, &topo, &centers, 7, &cfg).unwrap();
     assert_eq!(a.fault_trace, b.fault_trace);
@@ -303,10 +305,10 @@ fn burst_faults_never_fire_outside_declared_regions() {
             (seed, accesses)
         },
         |(seed, accesses)| {
-            let mut disk = Disk::new();
-            disk.set_fault_plan(Some(FaultPlan::new(
-                FaultConfig::disabled(*seed).with_burst(Some(burst)),
-            )));
+            let mut disk = Disk::with_options(
+                &DiskOptions::new()
+                    .fault_plan(Some(FaultConfig::disabled(*seed).with_burst(Some(burst)))),
+            );
             let file = disk.alloc(FILE_PAGES).unwrap();
             for &(page, len) in accesses {
                 let clean = burst.first_bad_page(*seed, page, len).is_none();

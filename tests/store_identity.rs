@@ -67,9 +67,8 @@ fn a_disk_behind_the_trait_object_matches_the_concrete_path() {
     let topo = Topology::new(6, n, &PageConfig::DEFAULT).unwrap();
     let centers: Vec<Vec<f32>> = (0..12).map(|i| data.point(i * 311).to_vec()).collect();
     for faults in plans() {
-        let cfg = ExternalConfig::with_mem_points(900)
-            .unwrap()
-            .with_faults(faults);
+        let mut cfg = ExternalConfig::with_mem_points(900).unwrap();
+        cfg.faults = faults;
 
         let built = build_on_disk(&data, &topo, &cfg).unwrap();
         let mut disk = Disk::with_options(&build_options(faults));
@@ -101,9 +100,8 @@ fn the_file_store_charges_identically_to_the_simulated_disk() {
     let topo = Topology::new(6, n, &PageConfig::DEFAULT).unwrap();
     let centers: Vec<Vec<f32>> = (0..12).map(|i| data.point(i * 271).to_vec()).collect();
     for (round, faults) in plans().into_iter().enumerate() {
-        let cfg = ExternalConfig::with_mem_points(900)
-            .unwrap()
-            .with_faults(faults);
+        let mut cfg = ExternalConfig::with_mem_points(900).unwrap();
+        cfg.faults = faults;
         let concrete = measure_on_disk(&data, &topo, &centers, 7, &cfg).unwrap();
 
         let dir = tmpdir(&format!("charge{round}"));
