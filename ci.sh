@@ -76,6 +76,36 @@ echo "==> serve_sweep --smoke (tail-latency experiment)"
 HDIDX_BENCH_OUT="$PWD/target/bench-smoke" \
   cargo run -q --release -p hdidx-bench --bin serve_sweep --offline -- --smoke
 
+# Overload smoke legs: the overload-control layer end to end. The sweep
+# binary asserts its own acceptance bars (protected-class p99 <= 25% of
+# no-policy at 2.5x saturation; breaker bounds charged backoff vs
+# breaker-off). The CLI pair then proves the closed-lane equivalence:
+# shedding the knn+predict lanes outright must produce the exact same
+# protected-class latency stream — digest included — as never offering
+# that load at all.
+echo "==> overload_sweep --smoke (protected p99 + breaker backoff bars)"
+HDIDX_BENCH_OUT="$PWD/target/bench-smoke" \
+  cargo run -q --release -p hdidx-bench --bin overload_sweep --offline -- --smoke
+
+echo "==> hdidx serve: closed lanes == filtered stream (class digest identity)"
+cargo run -q --release -p hdidx-cli --offline -- serve \
+  --data target/bench-smoke/t48.csv --m 200 --smoke --seed 5 \
+  --lanes knn:0,predict:0 | grep "class range" > target/bench-smoke/lanes.txt
+cargo run -q --release -p hdidx-cli --offline -- serve \
+  --data target/bench-smoke/t48.csv --m 200 --smoke --seed 5 \
+  --only range | grep "class range" > target/bench-smoke/only.txt
+diff target/bench-smoke/lanes.txt target/bench-smoke/only.txt
+
+# Breaker chaos leg: the diskio breaker state machine under heavy fault
+# pressure, two independent seeds so a pass never hinges on one fault
+# pattern. The test asserts byte-identical transition trajectories at
+# 1/2/8 threads and that gating bounds charged backoff vs a bare store.
+for fault_seed in 5 11; do
+  echo "==> breaker chaos (HDIDX_FAULT_SEED=${fault_seed})"
+  HDIDX_FAULT_SEED="${fault_seed}" \
+    cargo test -q --offline --release -p hdidx-diskio --test breaker_chaos
+done
+
 # Crash-sweep chaos leg: a power cut between EVERY pair of I/O ops the
 # store issues (page-store histories and snapshot publishes), under all
 # three durability modes, re-run under two independent injection seeds
@@ -101,14 +131,22 @@ cargo run -q --release -p hdidx-cli --offline -- serve \
   --backend file --store "${FILE_STORE_DIR}" --durability every-8
 
 # Scrub smoke leg: the offline scrubber over the store the previous leg
-# left behind — once clean, then after flipping a byte in the newest
-# generation's superblock (the scrub must fall back to the retained
-# previous generation and demote CURRENT), then clean again.
-echo "==> hdidx scrub (clean, corrupted-superblock fallback, clean)"
+# left behind — once clean (exit 0), then after flipping a byte in the
+# newest generation's superblock (the scrub must fall back to the
+# retained previous generation, demote CURRENT, and exit 3 = degraded),
+# then clean again (exit 0). Exit 2 (repaired) is pinned by the CLI unit
+# tests; hard errors stay exit 1.
+echo "==> hdidx scrub (exit codes: 0 clean, 3 degraded fallback, 0 clean)"
 cargo run -q --release -p hdidx-cli --offline -- scrub --store "${FILE_STORE_DIR}"
 printf '\xee' | dd of="${FILE_STORE_DIR}/index/gen-00000002/pages.db" \
   bs=1 seek=40 conv=notrunc status=none
-cargo run -q --release -p hdidx-cli --offline -- scrub --store "${FILE_STORE_DIR}"
+scrub_code=0
+cargo run -q --release -p hdidx-cli --offline -- scrub --store "${FILE_STORE_DIR}" \
+  || scrub_code=$?
+if [ "${scrub_code}" -ne 3 ]; then
+  echo "scrub after superblock corruption must exit 3 (degraded), got ${scrub_code}"
+  exit 1
+fi
 cargo run -q --release -p hdidx-cli --offline -- scrub --store "${FILE_STORE_DIR}"
 
 echo "==> persist_roundtrip --smoke (charged vs wall clock per durability mode)"

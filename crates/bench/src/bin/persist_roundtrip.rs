@@ -103,6 +103,7 @@ fn main() {
         batch: 8,
         admission_budget_s: f64::INFINITY,
         disk,
+        ..ServeConfig::new()
     };
     let pool = Pool::current();
     let baseline = Server::build(&ctx.data, &ctx.topo, m, args.seed, None)

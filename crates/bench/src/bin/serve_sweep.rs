@@ -121,6 +121,7 @@ fn main() {
             batch,
             admission_budget_s: f64::INFINITY,
             disk,
+            ..ServeConfig::new()
         };
         let report = server.run(&requests, &cfg, &pool).expect("serve");
         rows.push(Row {
@@ -144,6 +145,7 @@ fn main() {
         batch: 4,
         admission_budget_s: 0.5,
         disk,
+        ..ServeConfig::new()
     };
     let report = faulted.run(&requests, &cfg, &pool).expect("faulted serve");
     assert!(

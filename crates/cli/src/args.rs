@@ -7,8 +7,11 @@
 //! `hdidx_baselines::PREDICTOR_NAMES` registry).
 
 use hdidx_baselines::PREDICTOR_NAMES;
+use hdidx_diskio::BreakerConfig;
 use hdidx_faults::{FaultPhase, RetryPolicy};
-use hdidx_serve::{ArrivalModel, MixSpec};
+use hdidx_serve::{
+    AdmissionControl, ArrivalModel, Deadlines, LanePolicy, MixSpec, OverloadPolicy, QueryClass,
+};
 use hdidx_store::Durability;
 
 /// Storage backend selection for the commands that build an index
@@ -166,6 +169,15 @@ pub enum Command {
         batch: usize,
         /// Admission backoff budget in seconds (None = shedding disabled).
         admission_budget: Option<f64>,
+        /// Sliding-window length of the admission controller.
+        admission_window: usize,
+        /// Overload-control policy assembled from `--deadline`, `--lanes`,
+        /// `--breaker` and `--hedge-ms` (all default off).
+        overload: OverloadPolicy,
+        /// Serve only this query class (physically filter the stream).
+        only: Option<QueryClass>,
+        /// Idle-slot scrub slice size in pages (None = maintenance off).
+        scrub_slice: Option<u64>,
         /// Number of candidate query balls in the workload pool.
         queries: usize,
         /// Neighbor count for workload radii and k-NN requests.
@@ -238,6 +250,9 @@ USAGE:
   hdidx serve    --data <csv> --m <points> [--rate 200] [--duration 10]
                  [--mix range:0.5,knn:0.3,predict:0.2] [--arrivals fixed|bursty]
                  [--concurrency 4] [--batch 8] [--admission-budget S]
+                 [--admission-window 64] [--deadline SPEC] [--lanes SPEC]
+                 [--breaker fails:window:cooldown[:probes]] [--hedge-ms MS]
+                 [--only range|knn|predict] [--scrub-slice PAGES]
                  [--queries 500] [--k 21] [--page-bytes 8192] [--seed 42]
                  [--threads N] [--smoke] [--backend sim|file] [--store <dir>]
                  [--durability per-batch|every-N|none]
@@ -273,8 +288,43 @@ bursty` clumps arrivals without changing the mean rate), executes it in
 and reports exact nearest-rank p50/p95/p99/max latency plus a digest of
 the per-query samples (byte-identical for any --threads).
 `--admission-budget S` sheds whole batches while the sliding window of
-charged fault-retry backoff exceeds S seconds; the report then includes
-the shed fraction. `--smoke` shrinks the defaults to CI scale.
+charged fault-retry backoff exceeds S seconds (`--admission-window N`
+sizes that window); the report then includes the shed fraction.
+`--smoke` shrinks the defaults to CI scale.
+
+Overload control (every knob defaults off; with all of them off the
+run reproduces the policy-free digests bit for bit):
+
+`--deadline SPEC` caps each query's charged service cost: either one
+number of seconds for every class, or per-class `range:0.1,knn:inf`
+pairs (unnamed classes stay uncapped). A range/knn query over its
+deadline is cut off and counted in `deadline cut`; a predict query
+becomes disk-priced and answers from cutoff extrapolation over the
+prefix it scanned, reported as degraded coverage.
+
+`--lanes SPEC` gives each class its own admission lane: `class:budget`
+pairs where the budget bounds the class's mean shadow-priced queue
+delay in seconds (`0` closes the lane, `inf` or unnamed protects it).
+Low-priority lanes shed before protected ones ever queue: shedding is
+computed from a no-shed shadow pass, so decisions are identical at any
+thread count and monotone in the budget.
+
+`--breaker fails:window:cooldown[:probes]` trips a circuit breaker
+when `fails` disk-query failures land within `window` charged seconds;
+while open, disk-backed queries fail fast (charging nothing) until
+`cooldown` elapses, then `probes` successes re-close it. Predicts keep
+serving from memory. `--hedge-ms MS` re-issues a faulted replay whose
+charged cost exceeds MS milliseconds against the snapshot generation's
+fault stream, adopting the earlier completion but charging both.
+
+`--only CLASS` physically filters the request stream to one class
+(request ids keep their arrival numbering, so a protected lane's
+digest can be compared against a stream that never offered the other
+classes). `--scrub-slice PAGES` enables idle-slot maintenance: scrub
+slices of that many pages run in the slot algebra's idle gaps and
+drive the healthy/degraded/read-only health state shown in the report
+(degraded halves the admission budget; read-only refuses disk-backed
+classes).
 
 `--threads 1` forces serial execution; omitting --threads uses the
 HDIDX_THREADS environment variable or the machine's available
@@ -621,6 +671,13 @@ impl Cli {
                     "concurrency",
                     "batch",
                     "admission-budget",
+                    "admission-window",
+                    "deadline",
+                    "lanes",
+                    "breaker",
+                    "hedge-ms",
+                    "only",
+                    "scrub-slice",
                     "queries",
                     "k",
                     "seed",
@@ -661,6 +718,50 @@ impl Cli {
                     None => None,
                     Some(_) => Some(parse_positive_or(&opts, "admission-budget", 1.0)?),
                 };
+                let admission_window: usize =
+                    opts.parse_or("admission-window", AdmissionControl::DEFAULT_WINDOW)?;
+                if admission_window == 0 {
+                    return Err("option --admission-window: must be at least 1".to_string());
+                }
+                let deadlines = match opts.get("deadline") {
+                    None => Deadlines::none(),
+                    Some(spec) => {
+                        Deadlines::parse(spec).map_err(|e| format!("option --deadline: {e}"))?
+                    }
+                };
+                let lanes = match opts.get("lanes") {
+                    None => None,
+                    Some(spec) => {
+                        Some(LanePolicy::parse(spec).map_err(|e| format!("option --lanes: {e}"))?)
+                    }
+                };
+                let breaker = match opts.get("breaker") {
+                    None => None,
+                    Some(spec) => Some(
+                        BreakerConfig::parse(spec).map_err(|e| format!("option --breaker: {e}"))?,
+                    ),
+                };
+                let hedge_s = match opts.get("hedge-ms") {
+                    None => f64::INFINITY,
+                    Some(_) => parse_positive_or(&opts, "hedge-ms", 50.0)? / 1000.0,
+                };
+                let overload = OverloadPolicy {
+                    deadlines,
+                    lanes,
+                    breaker,
+                    hedge_s,
+                };
+                overload.validate().map_err(|e| e.to_string())?;
+                let only = match opts.get("only") {
+                    None => None,
+                    Some(name) => {
+                        Some(QueryClass::parse(name).map_err(|e| format!("option --only: {e}"))?)
+                    }
+                };
+                let scrub_slice: Option<u64> = opts.parse_opt("scrub-slice")?;
+                if scrub_slice == Some(0) {
+                    return Err("option --scrub-slice: must be at least 1 page".to_string());
+                }
                 Command::Serve {
                     data: opts.required("data")?,
                     page_bytes: opts.parse_or("page-bytes", 8192usize)?,
@@ -674,6 +775,10 @@ impl Cli {
                     concurrency,
                     batch,
                     admission_budget,
+                    admission_window,
+                    overload,
+                    only,
+                    scrub_slice,
                     queries: opts.parse_or("queries", if smoke { 24usize } else { 500 })?,
                     k: opts.parse_or("k", if smoke { 5usize } else { 21 })?,
                     seed: opts.parse_or("seed", 42u64)?,
@@ -1082,6 +1187,86 @@ mod tests {
                 assert_eq!(admission_budget, Some(0.25));
             }
             other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_serve_overload_flags() {
+        let cli = Cli::parse(&argv(
+            "serve --data a.csv --m 400 --deadline range:0.1,knn:0.2 \
+             --lanes predict:0,knn:0.5 --breaker 3:0.5:1:2 --hedge-ms 50 \
+             --only range --admission-window 16 --scrub-slice 8",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Serve {
+                admission_window,
+                overload,
+                only,
+                scrub_slice,
+                ..
+            } => {
+                assert_eq!(admission_window, 16);
+                assert_eq!(overload.deadlines.get(QueryClass::Range), 0.1);
+                assert_eq!(overload.deadlines.get(QueryClass::Knn), 0.2);
+                assert!(overload.deadlines.get(QueryClass::Predict).is_infinite());
+                let lanes = overload.lanes.unwrap();
+                assert_eq!(lanes.get(QueryClass::Predict), 0.0);
+                assert_eq!(lanes.get(QueryClass::Knn), 0.5);
+                assert!(lanes.get(QueryClass::Range).is_infinite());
+                let breaker = overload.breaker.unwrap();
+                assert_eq!(breaker.failure_threshold, 3);
+                assert_eq!(breaker.probes, 2);
+                assert!((overload.hedge_s - 0.05).abs() < 1e-12);
+                assert_eq!(only, Some(QueryClass::Range));
+                assert_eq!(scrub_slice, Some(8));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Defaults: every knob off.
+        let cli = Cli::parse(&argv("serve --data a.csv --m 400")).unwrap();
+        match cli.command {
+            Command::Serve {
+                admission_window,
+                overload,
+                only,
+                scrub_slice,
+                ..
+            } => {
+                assert_eq!(admission_window, AdmissionControl::DEFAULT_WINDOW);
+                assert!(overload.is_noop());
+                assert_eq!(only, None);
+                assert_eq!(scrub_slice, None);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // A bare number deadlines every class; `inf` spells protection.
+        let cli = Cli::parse(&argv("serve --data a.csv --m 400 --deadline 0.25")).unwrap();
+        match cli.command {
+            Command::Serve { overload, .. } => {
+                for c in QueryClass::ALL {
+                    assert_eq!(overload.deadlines.get(c), 0.25);
+                }
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let bad = [
+            "serve --data a.csv --m 10 --deadline 0",
+            "serve --data a.csv --m 10 --deadline scan:1",
+            "serve --data a.csv --m 10 --lanes range:-1",
+            "serve --data a.csv --m 10 --breaker 0:0.5:1",
+            "serve --data a.csv --m 10 --breaker 3:0.5",
+            "serve --data a.csv --m 10 --hedge-ms 0",
+            "serve --data a.csv --m 10 --hedge-ms -5",
+            "serve --data a.csv --m 10 --only scan",
+            "serve --data a.csv --m 10 --admission-window 0",
+            "serve --data a.csv --m 10 --scrub-slice 0",
+            // Overload flags are serve-only.
+            "measure --data a.csv --m 10 --deadline 0.1",
+            "predict --data a.csv --m 10 --lanes range:1",
+        ];
+        for args in bad {
+            assert!(Cli::parse(&argv(args)).is_err(), "should reject: {args}");
         }
     }
 

@@ -12,12 +12,16 @@ use hdidx_diskio::measure::{measure_on_disk, measure_on_disk_in};
 use hdidx_diskio::{DiskModel, DiskOptions, IoStats};
 use hdidx_faults::{FaultConfig, FaultPhase, RetryPolicy};
 use hdidx_model::{hupper, Prediction, QueryBall};
-use hdidx_serve::{ArrivalModel, LoadGen, MixSpec, ServeConfig, Server};
+use hdidx_serve::{
+    ArrivalModel, CleanSource, LoadGen, Maintenance, MixSpec, OverloadPolicy, QueryClass,
+    ServeConfig, Server, StoreScrubSource,
+};
 use hdidx_store::{scrub_store_in, Durability, FileStore, OsFs, ScrubReport, SnapshotSet};
 use hdidx_vamsplit::topology::{PageConfig, Topology};
 use hdidx_vamsplit::tree::RTree;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Executes a parsed invocation.
@@ -26,7 +30,28 @@ use std::time::Instant;
 ///
 /// Human-readable message for any failure.
 pub fn execute(cli: &Cli) -> Result<String, String> {
-    match &cli.command {
+    execute_with_status(cli).map(|(report, _)| report)
+}
+
+/// [`execute`] plus the process exit status the command requests.
+/// Every command exits 0 on success except `scrub`, whose exit code
+/// distinguishes what the pass found: 0 all pages clean, 2 corruption
+/// found and fully repaired, 3 degraded (pages quarantined or the
+/// store fell back to an older generation). Hard errors stay on the
+/// `Err` path (exit 1).
+///
+/// # Errors
+///
+/// Human-readable message for any failure.
+pub fn execute_with_status(cli: &Cli) -> Result<(String, i32), String> {
+    if let Command::Scrub {
+        store_dir,
+        durability,
+    } = &cli.command
+    {
+        return scrub(Path::new(store_dir), *durability);
+    }
+    let report = match &cli.command {
         Command::Help => Ok(crate::args::USAGE.to_string()),
         Command::Info { data, page_bytes } => info(Path::new(data), *page_bytes),
         Command::Generate {
@@ -34,10 +59,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             scale,
             out,
         } => generate(dataset, *scale, Path::new(out)),
-        Command::Scrub {
-            store_dir,
-            durability,
-        } => scrub(Path::new(store_dir), *durability),
+        Command::Scrub { .. } => unreachable!("handled above"),
         Command::Predict {
             data,
             page_bytes,
@@ -135,6 +157,10 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             concurrency,
             batch,
             admission_budget,
+            admission_window,
+            overload,
+            only,
+            scrub_slice,
             queries,
             k,
             seed,
@@ -159,6 +185,10 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 concurrency: *concurrency,
                 batch: *batch,
                 admission_budget: *admission_budget,
+                admission_window: *admission_window,
+                overload: *overload,
+                only: *only,
+                scrub_slice: *scrub_slice,
                 queries: *queries,
                 k: *k,
                 seed: *seed,
@@ -170,7 +200,8 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 },
             })
         }
-    }
+    };
+    report.map(|r| (r, 0))
 }
 
 /// Resolves the fault-injection configuration: explicit `--fault-seed`
@@ -268,7 +299,7 @@ fn persist_and_reopen(
     durability: Durability,
     tree: &RTree,
     disk: &DiskModel,
-) -> Result<(RTree, IoStats, ScrubReport, String), String> {
+) -> Result<(RTree, IoStats, ScrubReport, u64, String), String> {
     let set =
         SnapshotSet::open(&store_root.join("index"), durability).map_err(|e| e.to_string())?;
     let persist_clock = Instant::now();
@@ -307,7 +338,20 @@ fn persist_and_reopen(
         disk.cost_seconds(reopen_io),
         reopen_wall_s
     );
-    Ok((loaded, reopen_io, scrub_report, report))
+    Ok((loaded, reopen_io, scrub_report, generation, report))
+}
+
+/// The `scrub` exit status for a report: 0 clean, 2 corruption found but
+/// fully repaired, 3 degraded (quarantined pages or a generation
+/// fallback — data was lost or demoted).
+fn scrub_status(report: &ScrubReport) -> i32 {
+    if report.pages_quarantined > 0 || report.fell_back {
+        3
+    } else if report.pages_repaired > 0 {
+        2
+    } else {
+        0
+    }
 }
 
 /// Offline scrub of a snapshot store: verifies every page checksum in
@@ -317,7 +361,7 @@ fn persist_and_reopen(
 /// root the index was built under (generations live in `<root>/index`),
 /// a snapshot-set directory itself, or a bare single-store directory
 /// containing `pages.db` directly.
-fn scrub(store_root: &Path, durability: Durability) -> Result<String, String> {
+fn scrub(store_root: &Path, durability: Durability) -> Result<(String, i32), String> {
     let index = store_root.join("index");
     let set_root = if index.exists() {
         index
@@ -329,9 +373,9 @@ fn scrub(store_root: &Path, durability: Durability) -> Result<String, String> {
         // pages in place against its own WAL; there is nothing to fall
         // back to.
         let report = scrub_store_in(&OsFs, &set_root).map_err(|e| e.to_string())?;
-        return Ok(format!(
-            "store: {} (bare)\nscrub: {report}\n",
-            set_root.display()
+        return Ok((
+            format!("store: {} (bare)\nscrub: {report}\n", set_root.display()),
+            scrub_status(&report),
         ));
     }
     if !set_root.exists() {
@@ -345,7 +389,7 @@ fn scrub(store_root: &Path, durability: Durability) -> Result<String, String> {
     if let Some(generation) = set.current().map_err(|e| e.to_string())? {
         let _ = writeln!(out, "serving generation {generation}");
     }
-    Ok(out)
+    Ok((out, scrub_status(&report)))
 }
 
 fn load(data: &Path, page_bytes: usize) -> Result<(Dataset, Topology), String> {
@@ -558,7 +602,7 @@ fn measure(
             let measured = measure_on_disk_in(&mut fs, &dataset, &topo, &centers, k, &cfg)
                 .map_err(|e| e.to_string())?;
             drop(fs);
-            let (_, _, _, lines) =
+            let (_, _, _, _, lines) =
                 persist_and_reopen(root, store.durability, &measured.tree, &disk)?;
             let report = format!("backend: file (store {})\n{lines}", root.display());
             (measured, Some(report))
@@ -605,6 +649,10 @@ struct ServeArgs<'a> {
     concurrency: usize,
     batch: usize,
     admission_budget: Option<f64>,
+    admission_window: usize,
+    overload: OverloadPolicy,
+    only: Option<QueryClass>,
+    scrub_slice: Option<u64>,
     queries: usize,
     k: usize,
     seed: u64,
@@ -622,10 +670,11 @@ fn serve(args: &ServeArgs<'_>) -> Result<String, String> {
         .map(|q| QueryBall::new(q.center.clone(), q.radius))
         .collect();
     let disk = DiskModel::paper_with_page_bytes(args.page_bytes);
-    let (server, backend_report) = match args.store.backend {
+    let (server, backend_report, store_gen_dir) = match args.store.backend {
         Backend::Sim => (
             Server::build(&dataset, &topo, args.m, args.seed, args.faults)
                 .map_err(|e| e.to_string())?,
+            None,
             None,
         ),
         Backend::File => {
@@ -645,7 +694,7 @@ fn serve(args: &ServeArgs<'_>) -> Result<String, String> {
             let built =
                 build_on_disk_in(&mut fs, &dataset, &topo, &cfg).map_err(|e| e.to_string())?;
             drop(fs);
-            let (loaded, reopen_io, scrub_report, lines) =
+            let (loaded, reopen_io, scrub_report, generation, lines) =
                 persist_and_reopen(root, args.store.durability, &built.tree, &disk)?;
             let server = Server::from_tree(
                 &dataset,
@@ -659,10 +708,11 @@ fn serve(args: &ServeArgs<'_>) -> Result<String, String> {
             )
             .map_err(|e| e.to_string())?;
             let report = format!("backend: file (store {})\n{lines}", root.display());
-            (server, Some(report))
+            let gen_dir = root.join("index").join(format!("gen-{generation:08}"));
+            (server, Some(report), Some(gen_dir))
         }
     };
-    let requests = LoadGen {
+    let mut requests = LoadGen {
         rate_per_s: args.rate,
         duration_s: args.duration,
         model: args.arrivals,
@@ -670,14 +720,42 @@ fn serve(args: &ServeArgs<'_>) -> Result<String, String> {
     }
     .requests(&candidates, &args.mix, args.k)
     .map_err(|e| e.to_string())?;
+    // --only physically drops the other classes from the offered stream;
+    // surviving requests keep their arrival ids (and so their fault
+    // streams), making the filtered run comparable against a laned one.
+    if let Some(class) = args.only {
+        requests.retain(|r| QueryClass::of(&r.query) == class);
+    }
     let cfg = ServeConfig {
         concurrency: args.concurrency,
         batch: args.batch,
         admission_budget_s: args.admission_budget.unwrap_or(f64::INFINITY),
+        admission_window: args.admission_window,
+        overload: args.overload,
         disk,
     };
+    // --scrub-slice turns on idle-slot maintenance: the simulated backend
+    // scrubs an always-clean source sized like the index; the file backend
+    // scrubs the snapshot generation it is serving.
+    let mut maint = match args.scrub_slice {
+        None => None,
+        Some(slice_pages) => {
+            let source: Box<dyn hdidx_serve::ScrubSource> = match &store_gen_dir {
+                Some(dir) => Box::new(StoreScrubSource::new(Arc::new(OsFs), dir.clone())),
+                None => Box::new(CleanSource {
+                    pages: topo.total_pages(),
+                }),
+            };
+            Some(Maintenance::new(source, slice_pages).map_err(|e| e.to_string())?)
+        }
+    };
     let report = server
-        .run(&requests, &cfg, &hdidx_pool::Pool::current())
+        .run_with_maintenance(
+            &requests,
+            &cfg,
+            &hdidx_pool::Pool::current(),
+            maint.as_mut(),
+        )
         .map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(
@@ -715,6 +793,47 @@ fn serve(args: &ServeArgs<'_>) -> Result<String, String> {
         report.io, report.backoff_s, report.makespan_s
     );
     let _ = writeln!(out, "latency digest: {:016x}", report.digest);
+    for cs in &report.by_class {
+        let tail = match cs.summary {
+            Some(s) => format!("p50={:.4} p99={:.4}", s.p50_s, s.p99_s),
+            None => "p50=n/a p99=n/a".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "class {:<7} n={} shed={} failed={} cut={} {tail} digest={:016x}",
+            cs.class, cs.executed, cs.shed, cs.failed, cs.deadline_cut, cs.digest
+        );
+    }
+    if !args.overload.is_noop() {
+        let _ = writeln!(
+            out,
+            "overload: deadline cut {} | hedged {} (wins {}) | degraded predicts {} \
+             ({:.1}% coverage)",
+            report.deadline_cut,
+            report.hedged,
+            report.hedge_wins,
+            report.degraded.leaves_degraded,
+            100.0 * report.degraded.coverage_fraction
+        );
+    }
+    if let Some(b) = report.breaker {
+        let _ = writeln!(
+            out,
+            "breaker: trips={} fast-fails={} state={} digest={:016x}",
+            b.trips,
+            b.fast_fails,
+            b.state.as_str(),
+            b.digest
+        );
+    }
+    if let (Some(h), Some(m)) = (report.health, report.maintenance) {
+        let _ = writeln!(
+            out,
+            "health: {h} | maintenance: {} slices, {} pages, {} corrupt, {} repaired, \
+             {} quarantined, {:.3} s scrubbing",
+            m.slices, m.pages_scanned, m.corrupt, m.repaired, m.quarantined, m.scrub_s
+        );
+    }
     if let Some(report) = backend_report {
         out.push_str(&report);
     }
@@ -800,6 +919,11 @@ mod tests {
     fn run(cmdline: &str) -> Result<String, String> {
         let argv: Vec<String> = cmdline.split_whitespace().map(str::to_string).collect();
         crate::run(&argv)
+    }
+
+    fn run_with_status(cmdline: &str) -> Result<(String, i32), String> {
+        let argv: Vec<String> = cmdline.split_whitespace().map(str::to_string).collect();
+        crate::run_with_status(&argv)
     }
 
     fn temp_csv(name: &str) -> std::path::PathBuf {
@@ -1136,6 +1260,110 @@ mod tests {
         assert!(run(&format!("scrub --store {}", gone.display())).is_err());
 
         std::fs::remove_dir_all(&store).ok();
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn scrub_exit_codes_distinguish_clean_repaired_and_degraded() {
+        use hdidx_diskio::{DiskOptions, PageStore as _};
+        use hdidx_store::{Durability, FileStore, PAGE_BYTES, PAYLOAD_BYTES};
+        let dir =
+            std::env::temp_dir().join(format!("hdidx_cli_scrub_codes_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let span = 8u64;
+        let mut st = FileStore::open(&dir, Durability::PerBatch, &DiskOptions::new()).unwrap();
+        let f = st.alloc(span).unwrap();
+        let payload = |tag: u8| vec![tag | 1; PAYLOAD_BYTES];
+        for p in 0..span {
+            st.write_pages(&f, p, 1, &payload(p as u8)).unwrap();
+        }
+        st.sync().unwrap(); // checkpoint: the WAL empties
+        st.write_pages(&f, 0, 1, &payload(0xF0)).unwrap(); // WAL covers page 0
+        drop(st); // crash: the rewrite lives only in the WAL
+
+        let header = PAGE_BYTES - PAYLOAD_BYTES;
+        let pages_db = dir.join("pages.db");
+        let corrupt = |p: u64| {
+            let mut bytes = std::fs::read(&pages_db).unwrap();
+            bytes[p as usize * PAGE_BYTES + header + 3] ^= 0xA5;
+            std::fs::write(&pages_db, &bytes).unwrap();
+        };
+        let scrub = || run_with_status(&format!("scrub --store {}", dir.display()));
+
+        let (out, code) = scrub().unwrap();
+        assert_eq!(code, 0, "clean store must exit 0: {out}");
+
+        corrupt(0); // WAL-covered: fully repairable
+        let (out, code) = scrub().unwrap();
+        assert_eq!(code, 2, "repaired store must exit 2: {out}");
+        assert!(out.contains("1 repaired"), "{out}");
+
+        corrupt(span - 1); // no redo source: quarantined
+        let (out, code) = scrub().unwrap();
+        assert_eq!(code, 3, "quarantine must exit 3: {out}");
+        assert!(out.contains("1 quarantined"), "{out}");
+
+        // After the quarantine the store scrubs clean again.
+        let (out, code) = scrub().unwrap();
+        assert_eq!(code, 0, "{out}");
+
+        // Non-scrub commands report status 0 through the same path.
+        let (_, code) = run_with_status("help").unwrap();
+        assert_eq!(code, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_overload_flags_report_and_lanes_match_a_filtered_stream() {
+        let csv = temp_csv("serve_overload.csv");
+        run(&format!(
+            "generate --dataset texture48 --scale 0.2 --out {}",
+            csv.display()
+        ))
+        .unwrap();
+        // Full policy engaged: per-class rows, an overload summary, a
+        // breaker line, and a health line must all render.
+        let out = run(&format!(
+            "serve --data {} --m 200 --smoke --seed 5 --arrivals bursty \
+             --deadline 0.5 --lanes range:inf,knn:0.5,predict:0.5 \
+             --breaker 4:0.5:1 --hedge-ms 50 --scrub-slice 8 --threads 2",
+            csv.display()
+        ))
+        .unwrap();
+        assert!(out.contains("class range"), "{out}");
+        assert!(out.contains("class knn"), "{out}");
+        assert!(out.contains("class predict"), "{out}");
+        assert!(out.contains("overload: deadline cut"), "{out}");
+        assert!(out.contains("breaker: trips="), "{out}");
+        assert!(out.contains("health: healthy"), "{out}");
+
+        // Closed lanes for knn/predict admit exactly the range requests
+        // with their original arrival ids, so the protected class's row —
+        // digest included — matches a stream that never offered the other
+        // classes (--only range).
+        let class_line = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("class range"))
+                .map(str::to_string)
+                .unwrap_or_else(|| panic!("no range row in: {out}"))
+        };
+        let laned = run(&format!(
+            "serve --data {} --m 200 --smoke --seed 5 --arrivals bursty \
+             --lanes knn:0,predict:0 --threads 2",
+            csv.display()
+        ))
+        .unwrap();
+        let only = run(&format!(
+            "serve --data {} --m 200 --smoke --seed 5 --arrivals bursty \
+             --only range --threads 2",
+            csv.display()
+        ))
+        .unwrap();
+        assert_eq!(
+            class_line(&laned),
+            class_line(&only),
+            "laned:\n{laned}\nonly:\n{only}"
+        );
         std::fs::remove_file(&csv).ok();
     }
 

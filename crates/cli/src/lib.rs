@@ -28,3 +28,15 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     let cli = args::Cli::parse(argv)?;
     commands::execute(&cli)
 }
+
+/// [`run`] plus the exit status the command requests. Commands exit 0 on
+/// success; `scrub` distinguishes its findings (0 clean, 2 repaired,
+/// 3 degraded). Hard errors stay on the `Err` path (exit 1).
+///
+/// # Errors
+///
+/// Returns a human-readable message on any failure.
+pub fn run_with_status(argv: &[String]) -> Result<(String, i32), String> {
+    let cli = args::Cli::parse(argv)?;
+    commands::execute_with_status(&cli)
+}

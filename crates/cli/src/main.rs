@@ -2,8 +2,13 @@
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match hdidx_cli::run(&argv) {
-        Ok(report) => print!("{report}"),
+    match hdidx_cli::run_with_status(&argv) {
+        Ok((report, status)) => {
+            print!("{report}");
+            if status != 0 {
+                std::process::exit(status);
+            }
+        }
         Err(message) => {
             eprintln!("error: {message}");
             std::process::exit(1);

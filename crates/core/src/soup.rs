@@ -148,6 +148,25 @@ impl LeafSoup {
         total
     }
 
+    /// Like [`LeafSoup::count_intersecting`], but only the first `limit`
+    /// stored rectangles participate — the kernel behind cutoff
+    /// extrapolation under deadline pressure: a scan cut off after
+    /// `limit` leaves counts the prefix and scales by the uncovered
+    /// fraction. With `limit >= len()` the count is byte-identical to the
+    /// full scan (same blocked accumulation, same early exit).
+    pub fn count_intersecting_prefix(&self, center: &[f32], r2: f64, limit: usize) -> u64 {
+        debug_assert_eq!(center.len(), self.dim);
+        let lim = limit.min(self.len);
+        let mut total = 0u64;
+        let mut start = 0usize;
+        while start < lim {
+            let end = (start + LEAF_BLOCK).min(lim);
+            total += self.count_block(start, end, center, r2);
+            start = end;
+        }
+        total
+    }
+
     /// Batched counting: `out[i]` is the number of stored rectangles the
     /// query ball `key(&queries[i]) = (center, radius)` intersects (the
     /// comparison is `MINDIST² <= radius * radius`, matching
@@ -310,6 +329,30 @@ mod tests {
         for threads in [1usize, 2, 8] {
             let got = soup.count_batch(&Pool::new(threads), &queries, |q| (q.0.as_slice(), q.1));
             assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn prefix_count_matches_truncated_naive_and_full_scan() {
+        let rects = random_rects(200, 5, 77);
+        let soup = LeafSoup::from_rects(5, &rects).unwrap();
+        let mut rng = seeded(9);
+        for _ in 0..6 {
+            let c: Vec<f32> = (0..5).map(|_| rng.gen::<f32>() * 6.0 - 3.0).collect();
+            let r = rng.gen::<f64>() * 2.0;
+            // Prefix limits crossing block boundaries and the tail.
+            for limit in [0usize, 1, 63, 64, 65, 128, 199, 200, 5000] {
+                assert_eq!(
+                    soup.count_intersecting_prefix(&c, r * r, limit),
+                    naive_count(&rects[..limit.min(rects.len())], &c, r),
+                    "limit {limit}"
+                );
+            }
+            assert_eq!(
+                soup.count_intersecting_prefix(&c, r * r, usize::MAX),
+                soup.count_intersecting(&c, r * r),
+                "saturated prefix must be byte-identical to the full scan"
+            );
         }
     }
 

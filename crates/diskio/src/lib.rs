@@ -26,7 +26,12 @@
 //!   implementor; the file-backed store with WAL durability lives in
 //!   `hdidx-store`) and the [`store::DiskOptions`] builder that
 //!   configures fault injection, retry policy and phase/stream
-//!   derivation for any backend.
+//!   derivation for any backend,
+//! * [`breaker`] — a deterministic circuit breaker over charged time:
+//!   the bare [`breaker::CircuitBreaker`] state machine plus
+//!   [`breaker::BreakerStore`], a [`store::PageStore`] wrapper that fails
+//!   fast while tripped and can hedge straggling reads against a snapshot
+//!   replica, charging both attempts.
 //!
 //! Bytes are kept in RAM (only the *access pattern* determines cost), but
 //! the algorithms really execute the external-memory logic — pass structure,
@@ -35,12 +40,14 @@
 //! §4 live in `hdidx-model`; comparing them against these measured counts is
 //! itself one of the reproduction's experiments.
 
+pub mod breaker;
 pub mod disk;
 pub mod external;
 pub mod measure;
 pub mod model;
 pub mod store;
 
+pub use breaker::{BreakerConfig, BreakerState, BreakerStore, CircuitBreaker, HedgeStats};
 pub use disk::{Disk, FileHandle};
 pub use external::{build_on_disk, build_on_disk_in};
 pub use measure::{measure_on_disk, measure_on_disk_in, OnDiskMeasurement};

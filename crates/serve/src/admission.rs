@@ -1,4 +1,4 @@
-//! Backoff-budget admission control.
+//! Backoff-budget admission control and per-class admission lanes.
 //!
 //! The server charges every retry backoff it performs (in simulated
 //! seconds) into a sliding window. When the window's total charged backoff
@@ -12,11 +12,23 @@
 //! decisions are functions of the request stream and fault plan only —
 //! never of wall-clock time or thread scheduling — so shed decisions are
 //! deterministic and thread-count independent.
+//!
+//! # Caveat: only backoff-charging retry policies create pressure
+//!
+//! The window accumulates **charged backoff seconds**. Under
+//! `RetryPolicy::Exponential` and `RetryPolicy::Budgeted` every retry
+//! charges seek-denominated backoff, so fault pressure is visible here.
+//! `RetryPolicy::Fixed` retries charge *no* backoff at all — under it the
+//! window stays at zero and this controller never sheds, no matter how
+//! hard the fault storm. Pair `Fixed` with per-class [lanes] or deadlines
+//! (`crate::OverloadPolicy`) if shedding is still wanted.
+//!
+//! [lanes]: LaneState
 
+use crate::overload::LanePolicy;
+use crate::request::QueryClass;
+use hdidx_core::{Error, Result};
 use std::collections::VecDeque;
-
-/// Number of most-recent backoff charges the sliding window retains.
-const WINDOW_CAP: usize = 64;
 
 /// Sliding-window admission controller.
 #[derive(Debug, Clone)]
@@ -24,6 +36,11 @@ pub struct AdmissionControl {
     /// Backoff budget in simulated seconds; `f64::INFINITY` disables
     /// shedding entirely.
     budget_s: f64,
+    /// Budget multiplier applied while the store health is degraded
+    /// (1.0 = healthy). See [`AdmissionControl::set_budget_scale`].
+    budget_scale: f64,
+    /// Number of most-recent backoff charges the window retains.
+    window_cap: usize,
     /// Most recent charged backoffs, oldest first.
     window: VecDeque<f64>,
     admitted: u64,
@@ -31,16 +48,39 @@ pub struct AdmissionControl {
 }
 
 impl AdmissionControl {
-    /// Controller with the given window budget (seconds). Pass
+    /// Default sliding-window length (most-recent backoff charges kept).
+    pub const DEFAULT_WINDOW: usize = 64;
+
+    /// Controller with the given window budget (seconds) and the default
+    /// window length ([`AdmissionControl::DEFAULT_WINDOW`]). Pass
     /// `f64::INFINITY` to disable shedding.
     #[must_use]
     pub fn new(budget_s: f64) -> Self {
-        AdmissionControl {
+        AdmissionControl::with_window(budget_s, AdmissionControl::DEFAULT_WINDOW)
+            .expect("default window is valid")
+    }
+
+    /// Controller with an explicit sliding-window length.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] when `window` is zero — a zero-length
+    /// window can hold no pressure and would silently disable shedding.
+    pub fn with_window(budget_s: f64, window: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(Error::invalid(
+                "admission-window",
+                "window must be at least 1 charge",
+            ));
+        }
+        Ok(AdmissionControl {
             budget_s,
-            window: VecDeque::with_capacity(WINDOW_CAP),
+            budget_scale: 1.0,
+            window_cap: window,
+            window: VecDeque::with_capacity(window),
             admitted: 0,
             shed: 0,
-        }
+        })
     }
 
     /// Current charged backoff in the window, in seconds.
@@ -49,11 +89,19 @@ impl AdmissionControl {
         self.window.iter().sum()
     }
 
+    /// Scales the effective budget (e.g. `0.5` while the store health is
+    /// degraded, `1.0` when healthy). Applies to subsequent decisions only,
+    /// so the scale trajectory is part of the deterministic replay.
+    pub fn set_budget_scale(&mut self, scale: f64) {
+        self.budget_scale = scale;
+    }
+
     /// Decides whether to admit a batch of `size` requests. On shed, the
     /// batch is counted and the oldest half-window of charges is drained so
     /// the server can recover once pressure subsides.
     pub fn admit_batch(&mut self, size: usize) -> bool {
-        if self.budget_s.is_finite() && self.window_backoff_s() > self.budget_s {
+        let budget = self.budget_s * self.budget_scale;
+        if budget.is_finite() && self.window_backoff_s() > budget {
             self.shed += size as u64;
             // Drain the older half of the window; repeated sheds therefore
             // clear pressure in O(log) batches rather than shedding forever.
@@ -70,10 +118,16 @@ impl AdmissionControl {
     /// sliding window (zero charges are kept too: they age out old
     /// pressure as healthy requests flow).
     pub fn observe(&mut self, backoff_s: f64) {
-        if self.window.len() == WINDOW_CAP {
+        if self.window.len() == self.window_cap {
             self.window.pop_front();
         }
         self.window.push_back(backoff_s);
+    }
+
+    /// Counts requests refused outside the batch decision (health gating,
+    /// lane shedding surfaced through this controller's totals).
+    pub fn count_shed(&mut self, n: u64) {
+        self.shed += n;
     }
 
     /// Requests admitted so far.
@@ -97,6 +151,89 @@ impl AdmissionControl {
         } else {
             self.shed as f64 / total as f64
         }
+    }
+}
+
+/// Per-class admission lanes over **shadow queue delays**.
+///
+/// The server prices the offered stream with a no-shedding shadow pass of
+/// its slot algebra; each request's shadow queue delay is charged here
+/// into its class's sliding window *before* the admit decision for that
+/// request is made. A request is shed when its class's window **mean**
+/// exceeds the class budget ([`LanePolicy`]): an infinite budget marks a
+/// protected lane (never sheds), a zero budget closes the lane (always
+/// sheds — equivalent, digest for digest, to never offering that load).
+///
+/// Because the pressure signal derives from the offered stream only —
+/// never from earlier shed decisions — admission is a pure per-request
+/// function, byte-identical at any thread count and monotone in every
+/// budget: lowering a budget can only grow that class's shed set.
+#[derive(Debug, Clone)]
+pub struct LaneState {
+    policy: LanePolicy,
+    windows: [VecDeque<f64>; QueryClass::COUNT],
+    shed: [u64; QueryClass::COUNT],
+    admitted: [u64; QueryClass::COUNT],
+}
+
+impl LaneState {
+    /// Lane state for a validated policy.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] from [`LanePolicy::validate`].
+    pub fn new(policy: LanePolicy) -> Result<LaneState> {
+        policy.validate()?;
+        Ok(LaneState {
+            policy,
+            windows: std::array::from_fn(|_| VecDeque::with_capacity(policy.window)),
+            shed: [0; QueryClass::COUNT],
+            admitted: [0; QueryClass::COUNT],
+        })
+    }
+
+    /// Charges one shadow queue delay into the class window, then decides
+    /// admission for the request that produced it. Returns `true` to admit.
+    pub fn admit(&mut self, class: QueryClass, shadow_delay_s: f64) -> bool {
+        let i = class.index();
+        if self.windows[i].len() == self.policy.window {
+            self.windows[i].pop_front();
+        }
+        self.windows[i].push_back(shadow_delay_s);
+        let budget = self.policy.get(class);
+        let admit = if budget.is_infinite() {
+            true
+        } else if budget <= 0.0 {
+            false
+        } else {
+            let w = &self.windows[i];
+            let mean = w.iter().sum::<f64>() / w.len() as f64;
+            mean <= budget
+        };
+        if admit {
+            self.admitted[i] += 1;
+        } else {
+            self.shed[i] += 1;
+        }
+        admit
+    }
+
+    /// Requests shed per class, indexed by [`QueryClass::index`].
+    #[must_use]
+    pub fn shed_by_class(&self) -> [u64; QueryClass::COUNT] {
+        self.shed
+    }
+
+    /// Total requests shed by the lanes.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    /// Total requests admitted by the lanes.
+    #[must_use]
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted.iter().sum()
     }
 }
 
@@ -139,7 +276,7 @@ mod tests {
         assert!(!ac.admit_batch(1), "pressure sheds");
         // After the shed drain the window is empty; zero-backoff charges
         // from healthy requests keep it clean.
-        for _ in 0..WINDOW_CAP {
+        for _ in 0..AdmissionControl::DEFAULT_WINDOW {
             assert!(ac.admit_batch(1));
             ac.observe(0.0);
         }
@@ -147,11 +284,93 @@ mod tests {
     }
 
     #[test]
-    fn window_is_bounded() {
+    fn window_is_bounded_and_configurable() {
         let mut ac = AdmissionControl::new(f64::INFINITY);
-        for _ in 0..(WINDOW_CAP * 3) {
+        for _ in 0..(AdmissionControl::DEFAULT_WINDOW * 3) {
             ac.observe(0.25);
         }
-        assert!((ac.window_backoff_s() - WINDOW_CAP as f64 * 0.25).abs() < 1e-9);
+        let expect = AdmissionControl::DEFAULT_WINDOW as f64 * 0.25;
+        assert!((ac.window_backoff_s() - expect).abs() < 1e-9);
+
+        let mut ac = AdmissionControl::with_window(f64::INFINITY, 4).unwrap();
+        for _ in 0..100 {
+            ac.observe(0.25);
+        }
+        assert!((ac.window_backoff_s() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_window_is_rejected() {
+        let e = AdmissionControl::with_window(1.0, 0)
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("window"), "{e}");
+        // A 1-charge window is legal (tightest possible controller).
+        let mut ac = AdmissionControl::with_window(0.5, 1).unwrap();
+        ac.observe(0.7);
+        assert!(!ac.admit_batch(1));
+    }
+
+    #[test]
+    fn degraded_scale_halves_the_effective_budget() {
+        let mut ac = AdmissionControl::new(1.0);
+        ac.observe(0.7);
+        assert!(ac.admit_batch(1), "0.7 under the 1.0 budget");
+        ac.set_budget_scale(0.5);
+        assert!(!ac.admit_batch(1), "0.7 over the 0.5 effective budget");
+        ac.set_budget_scale(1.0);
+        // The shed drained the window; pressure is gone either way.
+        assert!(ac.admit_batch(1));
+    }
+
+    #[test]
+    fn lanes_shed_by_window_mean_and_respect_protection() {
+        let policy = LanePolicy {
+            budget_s: [f64::INFINITY, 0.5, 0.0],
+            window: 2,
+        };
+        let mut lanes = LaneState::new(policy).unwrap();
+        // Protected lane: admits regardless of pressure.
+        assert!(lanes.admit(QueryClass::Range, 1e9));
+        // Budgeted lane: mean of the window decides.
+        assert!(lanes.admit(QueryClass::Knn, 0.4));
+        assert!(!lanes.admit(QueryClass::Knn, 1.0), "mean 0.7 > 0.5");
+        assert!(!lanes.admit(QueryClass::Knn, 1.0), "mean 1.0 > 0.5");
+        assert!(lanes.admit(QueryClass::Knn, 0.0), "mean 0.5 <= 0.5");
+        // Closed lane: always sheds, even at zero pressure.
+        assert!(!lanes.admit(QueryClass::Predict, 0.0));
+        assert_eq!(lanes.shed_by_class(), [0, 2, 1]);
+        assert_eq!(lanes.shed_total(), 3);
+        assert_eq!(lanes.admitted_total(), 3);
+    }
+
+    #[test]
+    fn lane_shedding_is_monotone_in_the_budget() {
+        // The same delay stream under a tighter budget must shed a superset.
+        let delays: Vec<f64> = (0..200).map(|i| f64::from((i * 37) % 100) / 50.0).collect();
+        let shed_set = |budget: f64| -> Vec<usize> {
+            let mut lanes = LaneState::new(LanePolicy {
+                budget_s: [budget; QueryClass::COUNT],
+                window: 8,
+            })
+            .unwrap();
+            delays
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| !lanes.admit(QueryClass::Range, d))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let mut prev = shed_set(f64::INFINITY);
+        assert!(prev.is_empty());
+        for budget in [2.0, 1.0, 0.5, 0.1, 0.0] {
+            let cur = shed_set(budget);
+            assert!(
+                prev.iter().all(|i| cur.contains(i)),
+                "budget {budget}: shed set must contain the looser set"
+            );
+            prev = cur;
+        }
+        assert_eq!(prev.len(), delays.len(), "closed lane sheds everything");
     }
 }

@@ -73,6 +73,34 @@ impl LatencyRecorder {
         h
     }
 
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean of the samples, or `None` when empty.
+    #[must_use]
+    pub fn mean_s(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Largest sample (by IEEE total order), or `None` when empty.
+    #[must_use]
+    pub fn max_s(&self) -> Option<f64> {
+        self.samples.iter().copied().max_by(f64::total_cmp)
+    }
+
     /// Exact nearest-rank percentile summary, or `None` when the recorder
     /// is empty or a sample is NaN (a NaN latency is an accounting bug and
     /// must not silently vanish inside a percentile).
@@ -118,6 +146,22 @@ mod tests {
         rec.record(1.0);
         rec.record(f64::NAN);
         assert_eq!(rec.summary(), None);
+    }
+
+    #[test]
+    fn mean_and_max_accessors_match_the_summary() {
+        let mut rec = LatencyRecorder::new();
+        assert_eq!(rec.mean_s(), None);
+        assert_eq!(rec.max_s(), None);
+        assert!(rec.is_empty());
+        for v in [0.3, 0.1, 0.2] {
+            rec.record(v);
+        }
+        assert_eq!(rec.len(), 3);
+        let s = rec.summary().unwrap();
+        assert_eq!(rec.mean_s(), Some(s.mean_s));
+        assert_eq!(rec.max_s(), Some(s.max_s));
+        assert!((rec.max_s().unwrap() - 0.3).abs() < 1e-12);
     }
 
     #[test]

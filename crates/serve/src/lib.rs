@@ -19,23 +19,41 @@
 //!   counts is checkable from CLI output.
 //! * [`admission`] — backoff-budget load shedding ([`AdmissionControl`]):
 //!   when a sliding window of charged fault-retry backoff exceeds its
-//!   budget, whole batches are refused and counted instead of queued.
+//!   budget, whole batches are refused and counted instead of queued —
+//!   plus per-class admission lanes ([`admission::LaneState`]) shedding on
+//!   shadow-priced queue delays.
+//! * [`overload`] — the deterministic overload-control policy
+//!   ([`OverloadPolicy`]): per-class deadlines on charged service cost,
+//!   lane budgets, circuit-breaker gating, and hedged replays. Every knob
+//!   defaults off; the identity policy reproduces the pre-overload serve
+//!   digests bit for bit.
+//! * [`maintain`] — idle-slot maintenance ([`Maintenance`]): incremental
+//!   scrub slices run in the slot algebra's idle gaps and drive the
+//!   Healthy → Degraded → ReadOnly health machine gating admission.
 //!
 //! The crate inherits the workspace determinism contract: with a fixed
 //! data seed, load seed, and fault seed, a serving run produces
 //! byte-identical per-query latency samples — and therefore identical
 //! percentiles, shed fractions, and digests — at any `HDIDX_THREADS`
-//! setting, because arrivals, fault plans, and time accounting are pure
-//! functions of the request stream, never of scheduling.
+//! setting, because arrivals, fault plans, time accounting, and every
+//! overload decision (shed, cut, trip, hedge) are pure functions of the
+//! request stream, never of scheduling.
 
 pub mod admission;
 pub mod latency;
 pub mod loadgen;
+pub mod maintain;
+pub mod overload;
 pub mod request;
 pub mod server;
 
 pub use admission::AdmissionControl;
 pub use latency::{LatencyRecorder, LatencySummary};
 pub use loadgen::{ArrivalModel, LoadGen};
-pub use request::{MixSpec, Query, Request};
-pub use server::{ServeConfig, ServeReport, Server};
+pub use maintain::{
+    CleanSource, HealthState, Maintenance, MaintenanceReport, ScrubSource, SliceOutcome,
+    StoreScrubSource,
+};
+pub use overload::{Deadlines, LanePolicy, OverloadPolicy};
+pub use request::{MixSpec, Query, QueryClass, Request};
+pub use server::{BreakerSummary, ClassStats, ServeConfig, ServeReport, Server};

@@ -37,11 +37,77 @@ impl Query {
     /// Stable class name (`"range"`, `"knn"`, `"predict"`).
     #[must_use]
     pub fn class(&self) -> &'static str {
-        match self {
-            Query::Range { .. } => "range",
-            Query::Knn { .. } => "knn",
-            Query::Predict { .. } => "predict",
+        QueryClass::of(self).as_str()
+    }
+}
+
+/// The three query classes as a dense index — the unit overload policy
+/// (deadlines, admission lanes, per-class latency accounting) is keyed by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Ball (range) queries.
+    Range,
+    /// Exact k-NN queries.
+    Knn,
+    /// Cost predictions.
+    Predict,
+}
+
+impl QueryClass {
+    /// Number of classes (array-index bound).
+    pub const COUNT: usize = 3;
+
+    /// All classes, in index order.
+    pub const ALL: [QueryClass; QueryClass::COUNT] =
+        [QueryClass::Range, QueryClass::Knn, QueryClass::Predict];
+
+    /// The class of a query.
+    #[must_use]
+    pub fn of(query: &Query) -> QueryClass {
+        match query {
+            Query::Range { .. } => QueryClass::Range,
+            Query::Knn { .. } => QueryClass::Knn,
+            Query::Predict { .. } => QueryClass::Predict,
         }
+    }
+
+    /// Dense index (`range` 0, `knn` 1, `predict` 2).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable class name (`"range"`, `"knn"`, `"predict"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryClass::Range => "range",
+            QueryClass::Knn => "knn",
+            QueryClass::Predict => "predict",
+        }
+    }
+
+    /// Parses a class name.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] for anything but the three class names.
+    pub fn parse(name: &str) -> Result<QueryClass> {
+        match name {
+            "range" => Ok(QueryClass::Range),
+            "knn" => Ok(QueryClass::Knn),
+            "predict" => Ok(QueryClass::Predict),
+            other => Err(Error::invalid(
+                "class",
+                format!("unknown class `{other}` (expected range, knn, predict)"),
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -269,6 +335,17 @@ mod tests {
             predict: 0.0,
         };
         assert_eq!(all_knn.pick(0.0), "knn");
+    }
+
+    #[test]
+    fn query_class_round_trips_names_and_indexes_densely() {
+        for (i, c) in QueryClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(QueryClass::parse(c.as_str()).unwrap(), *c);
+            assert_eq!(c.to_string(), c.as_str());
+        }
+        let e = QueryClass::parse("scan").unwrap_err().to_string();
+        assert!(e.contains("unknown class `scan`"), "{e}");
     }
 
     #[test]

@@ -6,10 +6,14 @@
 
 use hdidx_repro::core::rng::{seeded, Rng};
 use hdidx_repro::core::Dataset;
+use hdidx_repro::diskio::BreakerConfig;
 use hdidx_repro::faults::{FaultConfig, FaultPhase, RetryPolicy};
 use hdidx_repro::model::QueryBall;
 use hdidx_repro::pool::Pool;
-use hdidx_repro::serve::{ArrivalModel, LoadGen, MixSpec, ServeConfig, ServeReport, Server};
+use hdidx_repro::serve::{
+    ArrivalModel, Deadlines, LanePolicy, LoadGen, MixSpec, OverloadPolicy, ServeConfig,
+    ServeReport, Server,
+};
 use hdidx_repro::vamsplit::topology::Topology;
 
 const THREAD_COUNTS: &[usize] = &[1, 2, 8];
@@ -52,6 +56,17 @@ fn assert_reports_identical(a: &ServeReport, b: &ServeReport, label: &str) {
         b.makespan_s.to_bits(),
         "{label}: makespan"
     );
+    // Overload-layer observables: per-class stats, deadline cuts, hedges,
+    // degraded-predict coverage and the breaker trajectory must all replay.
+    assert_eq!(a.by_class, b.by_class, "{label}: by_class");
+    assert_eq!(
+        (a.deadline_cut, a.hedged, a.hedge_wins),
+        (b.deadline_cut, b.hedged, b.hedge_wins),
+        "{label}: deadline/hedge counters"
+    );
+    assert_eq!(a.degraded, b.degraded, "{label}: degraded report");
+    assert_eq!(a.breaker, b.breaker, "{label}: breaker summary");
+    assert_eq!(a, b, "{label}: full report");
 }
 
 /// Clean serving (both arrival models) is bitwise thread-invariant.
@@ -124,4 +139,197 @@ fn faulted_serving_is_byte_identical_and_sheds() {
         let report = server.run(&requests, &cfg, &Pool::new(t)).unwrap();
         assert_reports_identical(&reference, &report, &format!("faulted t={t}"));
     }
+}
+
+/// The zero-overload path is frozen: a server run under the identity
+/// [`OverloadPolicy`] reproduces the serving digests from before the
+/// overload-control layer existed, bit for bit. The constants below were
+/// captured on the pre-overload tree over these exact fixtures — if this
+/// test fails, the refactor changed behaviour the policy was supposed to
+/// leave untouched.
+#[test]
+fn zero_overload_serving_reproduces_the_pre_overload_digests() {
+    let data = clustered_dataset(3_000, 4, 61);
+    let topo = Topology::from_capacities(4, 3_000, 10, 5).unwrap();
+    let balls = candidates(&data, 20);
+    let server = Server::build(&data, &topo, 500, 7, None).unwrap();
+    let cfg = ServeConfig {
+        concurrency: 3,
+        batch: 4,
+        ..ServeConfig::new()
+    };
+    assert!(
+        cfg.overload.is_noop(),
+        "ServeConfig::new defaults to no policy"
+    );
+    // (model, pinned digest, pinned makespan bit pattern, sample count).
+    let pinned = [
+        (
+            ArrivalModel::Fixed,
+            0xe1f73c496c9f5f6du64,
+            0x403535d4afc62ce3u64,
+            118usize,
+        ),
+        (
+            ArrivalModel::Bursty,
+            0x985218e865670c16,
+            0x4032c3a912aaf9c5,
+            105,
+        ),
+    ];
+    for (model, digest, makespan_bits, n) in pinned {
+        let gen = LoadGen {
+            rate_per_s: 300.0,
+            duration_s: 0.4,
+            model,
+            seed: 11,
+        };
+        let requests = gen.requests(&balls, &MixSpec::default(), 5).unwrap();
+        let report = server.run(&requests, &cfg, &Pool::serial()).unwrap();
+        let label = model.as_str();
+        assert_eq!(report.digest, digest, "{label}: pinned digest");
+        assert_eq!(
+            report.makespan_s.to_bits(),
+            makespan_bits,
+            "{label}: pinned makespan"
+        );
+        assert_eq!(report.samples.len(), n, "{label}: pinned sample count");
+    }
+
+    // The faulted fixture with a tight admission budget: shed decisions
+    // and charged backoff are pinned too.
+    let fdata = clustered_dataset(3_000, 4, 62);
+    let fballs = candidates(&fdata, 20);
+    let fcfg = FaultConfig::disabled(9)
+        .with_rate_ppm(300_000)
+        .with_retry(RetryPolicy::Exponential)
+        .with_phase_scale(FaultPhase::Build, 0);
+    let fserver = Server::build(&fdata, &topo, 500, 7, Some(fcfg)).unwrap();
+    let gen = LoadGen {
+        rate_per_s: 400.0,
+        duration_s: 0.5,
+        model: ArrivalModel::Bursty,
+        seed: 13,
+    };
+    let requests = gen.requests(&fballs, &MixSpec::default(), 5).unwrap();
+    let cfg = ServeConfig {
+        concurrency: 2,
+        batch: 4,
+        admission_budget_s: 0.05,
+        ..ServeConfig::new()
+    };
+    let report = fserver.run(&requests, &cfg, &Pool::serial()).unwrap();
+    assert_eq!(report.digest, 0xfdcd3d7cac98b5d1, "faulted: pinned digest");
+    assert_eq!(report.shed, 143, "faulted: pinned shed count");
+    assert_eq!(report.executed, 56, "faulted: pinned executed count");
+    assert_eq!(
+        report.backoff_s.to_bits(),
+        0x402afae147ae147b,
+        "faulted: pinned backoff"
+    );
+}
+
+/// Every overload knob engaged at once — deadlines, lanes, breaker and
+/// hedging over a faulted server — still replays bitwise at every thread
+/// count, including the per-class stats, cut/hedge counters, degraded
+/// coverage and the breaker transition digest.
+#[test]
+fn overload_policy_decisions_are_byte_identical_for_any_thread_count() {
+    let data = clustered_dataset(3_000, 4, 62);
+    let topo = Topology::from_capacities(4, 3_000, 10, 5).unwrap();
+    let balls = candidates(&data, 20);
+    let fcfg = FaultConfig::disabled(9)
+        .with_rate_ppm(500_000)
+        .with_retry(RetryPolicy::Exponential)
+        .with_phase_scale(FaultPhase::Build, 0);
+    let server = Server::build(&data, &topo, 500, 7, Some(fcfg)).unwrap();
+    let gen = LoadGen {
+        rate_per_s: 400.0,
+        duration_s: 0.5,
+        model: ArrivalModel::Bursty,
+        seed: 13,
+    };
+    let requests = gen.requests(&balls, &MixSpec::default(), 5).unwrap();
+    let overload = OverloadPolicy {
+        deadlines: Deadlines::parse("range:0.05,knn:0.08,predict:0.02").unwrap(),
+        lanes: Some(LanePolicy {
+            budget_s: [f64::INFINITY, 0.2, 0.1],
+            window: 16,
+        }),
+        breaker: Some(BreakerConfig {
+            failure_threshold: 2,
+            window_s: 5.0,
+            open_s: 0.2,
+            probes: 1,
+        }),
+        hedge_s: 0.05,
+    };
+    overload.validate().unwrap();
+    let cfg = ServeConfig {
+        concurrency: 2,
+        batch: 4,
+        overload,
+        ..ServeConfig::new()
+    };
+    let reference = server.run(&requests, &cfg, &Pool::serial()).unwrap();
+    // The policy must actually bite on this stream, or the identity
+    // assertions below prove nothing.
+    assert!(reference.deadline_cut > 0, "deadlines must cut queries");
+    assert!(reference.shed > 0, "lanes must shed load");
+    let brk = reference.breaker.expect("breaker summary present");
+    assert!(brk.trips >= 1, "the fault storm must trip the breaker");
+    for &t in THREAD_COUNTS {
+        let report = server.run(&requests, &cfg, &Pool::new(t)).unwrap();
+        assert_reports_identical(&reference, &report, &format!("overload t={t}"));
+    }
+}
+
+/// Lane shedding over a bursty stream is a pure function of the offered
+/// stream: identical at every thread count, and **monotone in the
+/// budget** — tightening the per-class queue-delay budget never un-sheds
+/// a request.
+#[test]
+fn bursty_lane_shedding_is_thread_invariant_and_monotone_in_budget() {
+    let data = clustered_dataset(3_000, 4, 61);
+    let topo = Topology::from_capacities(4, 3_000, 10, 5).unwrap();
+    let balls = candidates(&data, 20);
+    let server = Server::build(&data, &topo, 500, 7, None).unwrap();
+    let gen = LoadGen {
+        rate_per_s: 400.0,
+        duration_s: 0.5,
+        model: ArrivalModel::Bursty,
+        seed: 13,
+    };
+    let requests = gen.requests(&balls, &MixSpec::default(), 5).unwrap();
+    let budgets = [f64::INFINITY, 0.5, 0.2, 0.05, 0.0];
+    let mut previous_shed = None;
+    for budget in budgets {
+        let mut overload = OverloadPolicy::none();
+        overload.lanes = Some(LanePolicy {
+            budget_s: [budget; 3],
+            window: 16,
+        });
+        let cfg = ServeConfig {
+            concurrency: 2,
+            batch: 4,
+            overload,
+            ..ServeConfig::new()
+        };
+        let reference = server.run(&requests, &cfg, &Pool::serial()).unwrap();
+        for &t in THREAD_COUNTS {
+            let report = server.run(&requests, &cfg, &Pool::new(t)).unwrap();
+            assert_reports_identical(&reference, &report, &format!("budget {budget} t={t}"));
+        }
+        if let Some(previous) = previous_shed {
+            assert!(
+                reference.shed >= previous,
+                "tightening the budget to {budget} un-shed load: {} < {previous}",
+                reference.shed
+            );
+        }
+        previous_shed = Some(reference.shed);
+    }
+    // The endpoints are exact: infinite budget sheds nothing, zero budget
+    // sheds everything.
+    assert_eq!(previous_shed, Some(requests.len() as u64));
 }
