@@ -57,6 +57,19 @@ HDIDX_BENCH_SAMPLES=3 HDIDX_BENCH_WARMUP_MS=1 HDIDX_BENCH_TARGET_MS=0.05 \
   HDIDX_BENCH_OUT="$PWD/target/bench-smoke" \
   cargo bench -q --offline -p hdidx-bench --bench kernels -- soup_smoke
 
+# SIMD dispatch-identity leg: the kernel tests must pass with the ISA
+# pinned to the portable scalar path and with auto-detection (the widest
+# supported lanes) — same assertions, different dispatch — and a serve
+# smoke run under each must produce byte-identical latency digests. A
+# digest that moves with the lane width would mean the SIMD kernels are
+# not bit-exact replays of the scalar arithmetic.
+echo "==> simd dispatch identity (HDIDX_SIMD=scalar vs auto)"
+for simd_mode in scalar auto; do
+  HDIDX_SIMD="${simd_mode}" cargo test -q --offline -p hdidx-core \
+    -- simd soup knn
+  HDIDX_SIMD="${simd_mode}" cargo test -q --offline --test simd_dispatch
+done
+
 # Serving smoke legs: the open-loop serving subsystem end to end through
 # the CLI — once clean, once under a chaos fault seed with exponential
 # retry (so backoff is charged and admission control actually sheds) —
@@ -86,6 +99,15 @@ HDIDX_BENCH_OUT="$PWD/target/bench-smoke" \
 echo "==> overload_sweep --smoke (protected p99 + breaker backoff bars)"
 HDIDX_BENCH_OUT="$PWD/target/bench-smoke" \
   cargo run -q --release -p hdidx-bench --bin overload_sweep --offline -- --smoke
+
+echo "==> hdidx serve: --simd scalar == --simd auto (latency digest identity)"
+cargo run -q --release -p hdidx-cli --offline -- serve \
+  --data target/bench-smoke/t48.csv --m 200 --smoke --seed 5 \
+  --simd scalar | grep "latency digest" > target/bench-smoke/simd_scalar.txt
+cargo run -q --release -p hdidx-cli --offline -- serve \
+  --data target/bench-smoke/t48.csv --m 200 --smoke --seed 5 \
+  --simd auto | grep "latency digest" > target/bench-smoke/simd_auto.txt
+diff target/bench-smoke/simd_scalar.txt target/bench-smoke/simd_auto.txt
 
 echo "==> hdidx serve: closed lanes == filtered stream (class digest identity)"
 cargo run -q --release -p hdidx-cli --offline -- serve \

@@ -140,6 +140,7 @@ fn fig13_14_applications(suite: &mut BenchSuite) {
 
 fn main() {
     let mut suite = BenchSuite::new("experiments");
+    suite.set_isa(&hdidx_core::simd::describe());
     fig02_basic_model(&mut suite);
     fig09_10_analytic_costs(&mut suite);
     table3_phase_predictors(&mut suite);

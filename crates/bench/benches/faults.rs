@@ -29,6 +29,7 @@ fn scan(plan: Option<FaultConfig>) -> (u64, u64) {
 
 fn main() {
     let mut suite = BenchSuite::new("faults");
+    suite.set_isa(&hdidx_core::simd::describe());
     suite.bench("faults/scan_4096/no_plan", || scan(black_box(None)));
     suite.bench("faults/scan_4096/zero_rate_plan", || {
         scan(black_box(Some(FaultConfig::disabled(7))))

@@ -132,6 +132,7 @@ fn bench_resampled(suite: &mut BenchSuite, data: &Dataset, topo: &Topology, quer
 
 fn main() {
     let mut suite = BenchSuite::new("parallel");
+    suite.set_isa(&hdidx_core::simd::describe());
     let data = random_dataset(30_000, 16, 2);
     let topo = Topology::new(16, data.len(), &PageConfig::DEFAULT).unwrap();
     let queries: Vec<QueryBall> = (0..96)

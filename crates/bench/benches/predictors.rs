@@ -94,6 +94,7 @@ fn bench_resampled_h_sweep(suite: &mut BenchSuite) {
 
 fn main() {
     let mut suite = BenchSuite::new("predictors");
+    suite.set_isa(&hdidx_core::simd::describe());
     bench_predictors(&mut suite);
     bench_compensation(&mut suite);
     bench_resampled_h_sweep(&mut suite);

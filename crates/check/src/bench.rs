@@ -91,6 +91,7 @@ pub struct BenchSuite {
     suite: String,
     config: BenchConfig,
     filter: Option<String>,
+    isa: Option<String>,
     results: Vec<BenchResult>,
 }
 
@@ -108,8 +109,41 @@ impl BenchSuite {
             suite: suite.to_string(),
             config: BenchConfig::default(),
             filter,
+            isa: None,
             results: Vec::new(),
         }
+    }
+
+    /// Records the active SIMD ISA (e.g. `avx2 (detected)`); every JSON
+    /// row of the suite then carries it in an `"isa"` field so
+    /// perf-trajectory artifacts are comparable across machines. The
+    /// `hdidx-check` crate deliberately does not depend on `hdidx-core`,
+    /// so bench targets pass `hdidx_core::simd::describe()` in here.
+    pub fn set_isa(&mut self, isa: &str) {
+        self.isa = Some(isa.to_string());
+    }
+
+    /// Median of the recorded benchmark named `name`, in nanoseconds per
+    /// iteration — lets a bench target assert relations between its own
+    /// rows (e.g. batch throughput must not regress below single-query).
+    #[must_use]
+    pub fn median_ns(&self, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+    }
+
+    /// Fastest sample of the recorded benchmark named `name`, in
+    /// nanoseconds per iteration. For cross-row assertions the min is the
+    /// steadier statistic: it reflects what the code can do, where the
+    /// median also carries scheduler noise.
+    #[must_use]
+    pub fn min_ns(&self, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.min_ns)
     }
 
     /// Replaces the default timing policy for subsequently added
@@ -237,12 +271,17 @@ impl BenchSuite {
     pub fn finish(self) {
         let dir = std::env::var("HDIDX_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
         let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.suite));
+        let isa_field = self
+            .isa
+            .as_deref()
+            .map(|isa| format!(",\"isa\":\"{}\"", json_escape(isa)))
+            .unwrap_or_default();
         let mut out = String::new();
         for r in &self.results {
             out.push_str(&format!(
                 "{{\"suite\":\"{}\",\"name\":\"{}\",\"median_ns\":{:.1},\"p95_ns\":{:.1},\
                  \"min_ns\":{:.1},\"mean_ns\":{:.1},\"throughput_per_s\":{:.3},\
-                 \"samples\":{},\"iters_per_sample\":{}}}\n",
+                 \"samples\":{},\"iters_per_sample\":{}{}}}\n",
                 json_escape(&self.suite),
                 json_escape(&r.name),
                 r.median_ns,
@@ -252,6 +291,7 @@ impl BenchSuite {
                 r.throughput_per_s,
                 r.samples,
                 r.iters_per_sample,
+                isa_field,
             ));
         }
         let mut file = std::fs::File::create(&path)
@@ -321,6 +361,7 @@ mod tests {
             warmup_ms: 1,
             target_sample_ms: 0.05,
         });
+        suite.set_isa("testisa (forced)");
         let xs: Vec<f64> = (0..512).map(f64::from).collect();
         suite.bench("sum/512", || black_box(xs.iter().sum::<f64>()));
         suite.bench_with_setup(
@@ -337,10 +378,18 @@ mod tests {
         for r in &suite.results {
             assert!(r.min_ns <= r.median_ns && r.median_ns <= r.p95_ns + 1e-9);
         }
+        assert_eq!(suite.median_ns("sum/512"), Some(medians[0]));
+        assert_eq!(suite.median_ns("no/such/row"), None);
         suite.finish();
         let written = std::fs::read_to_string(dir.join("BENCH_selftest.json")).unwrap();
         assert_eq!(written.lines().count(), 2);
         assert!(written.contains("\"median_ns\""), "{written}");
+        assert!(
+            written
+                .lines()
+                .all(|l| l.contains("\"isa\":\"testisa (forced)\"")),
+            "every row must carry the isa field: {written}"
+        );
         std::env::remove_var("HDIDX_BENCH_OUT");
     }
 }

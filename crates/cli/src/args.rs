@@ -7,6 +7,7 @@
 //! `hdidx_baselines::PREDICTOR_NAMES` registry).
 
 use hdidx_baselines::PREDICTOR_NAMES;
+use hdidx_core::simd::Choice as SimdChoice;
 use hdidx_diskio::BreakerConfig;
 use hdidx_faults::{FaultPhase, RetryPolicy};
 use hdidx_serve::{
@@ -85,6 +86,8 @@ pub enum Command {
         /// Per-phase fault-rate percentages in `FaultPhase::ALL` order
         /// (None = 100 % everywhere).
         fault_phase_scale: Option<[u16; 3]>,
+        /// Kernel ISA override (None = `HDIDX_SIMD` or auto-detect).
+        simd: Option<SimdChoice>,
     },
     /// Run every predictor plus the measured ground truth in one report.
     Compare {
@@ -112,6 +115,8 @@ pub enum Command {
         /// Per-phase fault-rate percentages in `FaultPhase::ALL` order
         /// (None = 100 % everywhere).
         fault_phase_scale: Option<[u16; 3]>,
+        /// Kernel ISA override (None = `HDIDX_SIMD` or auto-detect).
+        simd: Option<SimdChoice>,
     },
     /// Build the index (simulated on-disk) and measure ground truth.
     Measure {
@@ -145,6 +150,8 @@ pub enum Command {
         store_dir: Option<String>,
         /// WAL durability mode (file backend only).
         durability: Durability,
+        /// Kernel ISA override (None = `HDIDX_SIMD` or auto-detect).
+        simd: Option<SimdChoice>,
     },
     /// Serve an open-loop query stream against a built index and report
     /// tail latency.
@@ -202,6 +209,8 @@ pub enum Command {
         store_dir: Option<String>,
         /// WAL durability mode (file backend only).
         durability: Durability,
+        /// Kernel ISA override (None = `HDIDX_SIMD` or auto-detect).
+        simd: Option<SimdChoice>,
     },
     /// Verify and repair an existing snapshot store offline.
     Scrub {
@@ -235,16 +244,19 @@ USAGE:
                  [--predictor resampled|cutoff|basic|uniform|fractal|histogram|distdist]
                  [--queries 500] [--k 21] [--h-upper N] [--zeta F]
                  [--page-bytes 8192] [--seed 42] [--threads N]
+                 [--simd auto|scalar|sse2|avx2]
                  [--fault-seed S] [--fault-ppm P] [--fault-phase-scale SPEC]
                  [--retry-policy fixed|exponential|budgeted] [--retry-budget B]
   hdidx measure  --data <csv> --m <points> [--queries 500] [--k 21]
                  [--page-bytes 8192] [--seed 42] [--threads N]
+                 [--simd auto|scalar|sse2|avx2]
                  [--backend sim|file] [--store <dir>]
                  [--durability per-batch|every-N|none]
                  [--fault-seed S] [--fault-ppm P] [--fault-phase-scale SPEC]
                  [--retry-policy fixed|exponential|budgeted] [--retry-budget B]
   hdidx compare  --data <csv> --m <points> [--queries 500] [--k 21]
                  [--page-bytes 8192] [--seed 42] [--threads N]
+                 [--simd auto|scalar|sse2|avx2]
                  [--fault-seed S] [--fault-ppm P] [--fault-phase-scale SPEC]
                  [--retry-policy fixed|exponential|budgeted] [--retry-budget B]
   hdidx serve    --data <csv> --m <points> [--rate 200] [--duration 10]
@@ -254,7 +266,8 @@ USAGE:
                  [--breaker fails:window:cooldown[:probes]] [--hedge-ms MS]
                  [--only range|knn|predict] [--scrub-slice PAGES]
                  [--queries 500] [--k 21] [--page-bytes 8192] [--seed 42]
-                 [--threads N] [--smoke] [--backend sim|file] [--store <dir>]
+                 [--threads N] [--simd auto|scalar|sse2|avx2] [--smoke]
+                 [--backend sim|file] [--store <dir>]
                  [--durability per-batch|every-N|none]
                  [fault/retry flags as above]
   hdidx scrub    --store <dir> [--durability per-batch|every-N|none]
@@ -329,6 +342,14 @@ classes).
 `--threads 1` forces serial execution; omitting --threads uses the
 HDIDX_THREADS environment variable or the machine's available
 parallelism. Results are identical for any thread count.
+
+`--simd` pins the geometry-kernel ISA: `scalar`, `sse2`, `avx2`, or
+`auto` (detect the best supported, rejecting nothing). The flag
+overrides the HDIDX_SIMD environment variable; omitting both
+auto-detects. Every ISA is byte-identical — counts, distances, and
+digests never change with the lane width — so the flag exists for
+perf comparison and for forcing the portable path, not for results.
+A fixed ISA the CPU does not support is rejected at startup.
 
 `--fault-seed S` injects deterministic I/O faults (transient failures,
 torn reads, latency spikes) into the simulated disk; `--fault-ppm P`
@@ -503,6 +524,15 @@ fn parse_backend(opts: &Opts) -> Result<(Backend, Option<String>, Durability), S
     }
 }
 
+fn parse_simd(opts: &Opts) -> Result<Option<SimdChoice>, String> {
+    match opts.get("simd") {
+        None => Ok(None),
+        Some(s) => SimdChoice::parse(s)
+            .map(Some)
+            .map_err(|e| format!("option --simd: {e}")),
+    }
+}
+
 fn parse_threads(opts: &Opts) -> Result<Option<usize>, String> {
     let threads: Option<usize> = opts.parse_opt("threads")?;
     if threads == Some(0) {
@@ -563,6 +593,7 @@ impl Cli {
                     "fault-phase-scale",
                     "retry-policy",
                     "retry-budget",
+                    "simd",
                 ])?;
                 let predictor = opts.get("predictor").unwrap_or("resampled").to_string();
                 if !PREDICTOR_NAMES.contains(&predictor.as_str()) {
@@ -588,6 +619,7 @@ impl Cli {
                     fault_ppm: opts.parse_opt("fault-ppm")?,
                     retry: parse_retry(&opts)?,
                     fault_phase_scale: parse_phase_scale(&opts)?,
+                    simd: parse_simd(&opts)?,
                 }
             }
             "compare" => {
@@ -604,6 +636,7 @@ impl Cli {
                     "fault-phase-scale",
                     "retry-policy",
                     "retry-budget",
+                    "simd",
                 ])?;
                 Command::Compare {
                     data: opts.required("data")?,
@@ -619,6 +652,7 @@ impl Cli {
                     fault_ppm: opts.parse_opt("fault-ppm")?,
                     retry: parse_retry(&opts)?,
                     fault_phase_scale: parse_phase_scale(&opts)?,
+                    simd: parse_simd(&opts)?,
                 }
             }
             "measure" => {
@@ -638,6 +672,7 @@ impl Cli {
                     "backend",
                     "store",
                     "durability",
+                    "simd",
                 ])?;
                 let (backend, store_dir, durability) = parse_backend(&opts)?;
                 Command::Measure {
@@ -657,6 +692,7 @@ impl Cli {
                     backend,
                     store_dir,
                     durability,
+                    simd: parse_simd(&opts)?,
                 }
             }
             "serve" => {
@@ -691,6 +727,7 @@ impl Cli {
                     "backend",
                     "store",
                     "durability",
+                    "simd",
                 ])?;
                 let (backend, store_dir, durability) = parse_backend(&opts)?;
                 // --smoke shrinks the open-loop window to CI scale while
@@ -790,6 +827,7 @@ impl Cli {
                     backend,
                     store_dir,
                     durability,
+                    simd: parse_simd(&opts)?,
                 }
             }
             "scrub" => {
@@ -846,6 +884,7 @@ mod tests {
                 fault_ppm,
                 retry,
                 fault_phase_scale,
+                simd,
             } => {
                 assert_eq!(data, "a.csv");
                 assert_eq!(page_bytes, 8192);
@@ -861,9 +900,30 @@ mod tests {
                 assert_eq!(fault_ppm, None);
                 assert_eq!(retry, None);
                 assert_eq!(fault_phase_scale, None);
+                assert_eq!(simd, None);
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_simd_flag() {
+        let cli = Cli::parse(&argv("predict --data a.csv --m 10 --simd scalar")).unwrap();
+        match cli.command {
+            Command::Predict { simd, .. } => {
+                assert_eq!(simd, Some(SimdChoice::Fixed(hdidx_core::Isa::Scalar)));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cli = Cli::parse(&argv("serve --data a.csv --m 10 --simd auto")).unwrap();
+        match cli.command {
+            Command::Serve { simd, .. } => assert_eq!(simd, Some(SimdChoice::Auto)),
+            other => panic!("wrong command: {other:?}"),
+        }
+        let err = Cli::parse(&argv("measure --data a.csv --m 10 --simd avx512")).unwrap_err();
+        assert!(err.contains("option --simd"), "{err}");
+        // info/generate/scrub take no --simd.
+        assert!(Cli::parse(&argv("info --data a.csv --simd auto")).is_err());
     }
 
     #[test]

@@ -75,8 +75,10 @@ pub fn execute_with_status(cli: &Cli) -> Result<(String, i32), String> {
             fault_ppm,
             retry,
             fault_phase_scale,
+            simd,
         } => {
             apply_threads(*threads);
+            apply_simd(*simd)?;
             predict(
                 Path::new(data),
                 *page_bytes,
@@ -105,8 +107,10 @@ pub fn execute_with_status(cli: &Cli) -> Result<(String, i32), String> {
             backend,
             store_dir,
             durability,
+            simd,
         } => {
             apply_threads(*threads);
+            apply_simd(*simd)?;
             measure(
                 Path::new(data),
                 *page_bytes,
@@ -134,8 +138,10 @@ pub fn execute_with_status(cli: &Cli) -> Result<(String, i32), String> {
             fault_ppm,
             retry,
             fault_phase_scale,
+            simd,
         } => {
             apply_threads(*threads);
+            apply_simd(*simd)?;
             compare(
                 Path::new(data),
                 *page_bytes,
@@ -172,8 +178,10 @@ pub fn execute_with_status(cli: &Cli) -> Result<(String, i32), String> {
             backend,
             store_dir,
             durability,
+            simd,
         } => {
             apply_threads(*threads);
+            apply_simd(*simd)?;
             serve(&ServeArgs {
                 data: Path::new(data),
                 page_bytes: *page_bytes,
@@ -255,6 +263,17 @@ fn resolve_faults(
 fn apply_threads(threads: Option<usize>) {
     if let Some(t) = threads {
         hdidx_pool::set_threads(t);
+    }
+}
+
+/// Applies `--simd` for this process: pins the geometry-kernel ISA for
+/// every subsequent dispatch (overriding `HDIDX_SIMD` and detection).
+/// Results are byte-identical for any ISA; this only changes wall-clock
+/// time. A fixed ISA the CPU does not support is a startup error.
+fn apply_simd(choice: Option<hdidx_core::simd::Choice>) -> Result<(), String> {
+    match choice {
+        Some(c) => hdidx_core::simd::force(c).map_err(|e| format!("option --simd: {e}")),
+        None => Ok(()),
     }
 }
 
@@ -622,6 +641,7 @@ fn measure(
         "total: {:.3} s under the paper's disk model",
         disk.cost_seconds(measured.total_io())
     );
+    let _ = writeln!(out, "simd: {}", hdidx_core::simd::describe());
     if faults.is_some() {
         let _ = writeln!(
             out,
@@ -792,6 +812,7 @@ fn serve(args: &ServeArgs<'_>) -> Result<String, String> {
         "query I/O: {} | charged backoff: {:.4} s | makespan: {:.3} s",
         report.io, report.backoff_s, report.makespan_s
     );
+    let _ = writeln!(out, "simd: {}", report.isa);
     let _ = writeln!(out, "latency digest: {:016x}", report.digest);
     for cs in &report.by_class {
         let tail = match cs.summary {

@@ -8,6 +8,7 @@
 
 use crate::dataset::Dataset;
 use crate::error::{Error, Result};
+use crate::simd::{self, Isa};
 use hdidx_pool::Pool;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -77,6 +78,28 @@ fn dist2_below(p: &[f32], q: &[f32], bound: f64) -> Option<f64> {
 /// [`Error::InvalidParameter`] for `k == 0`, and [`Error::EmptyInput`] for
 /// an empty dataset.
 pub fn scan_knn(data: &Dataset, q: &[f32], k: usize) -> Result<Vec<(f64, u32)>> {
+    scan_knn_with(simd::active(), data, q, k)
+}
+
+/// [`scan_knn`] pinned to one SIMD ISA — the entry point identity tests
+/// and per-ISA bench rows use.
+///
+/// The SIMD paths scan `isa.lanes()` candidates per group: every lane
+/// accumulates its full-precision `f64` distance chain (the exact
+/// [`dist2_below`] order) against the bound held at group entry, then the
+/// surviving lanes are re-validated in id order against the *live* bound
+/// before insertion. Because per-point distances are bit-identical and the
+/// bound only shrinks, the insert/skip decisions — and therefore every
+/// reported neighbor and distance bit — match the scalar scan exactly.
+///
+/// # Errors
+///
+/// Same conditions as [`scan_knn`].
+///
+/// # Panics
+///
+/// Panics if `isa` is not supported by this CPU/build.
+pub fn scan_knn_with(isa: Isa, data: &Dataset, q: &[f32], k: usize) -> Result<Vec<(f64, u32)>> {
     if q.len() != data.dim() {
         return Err(Error::DimensionMismatch {
             expected: data.dim(),
@@ -104,7 +127,36 @@ pub fn scan_knn(data: &Dataset, q: &[f32], k: usize) -> Result<Vec<(f64, u32)>> 
     // `best.peek()` exactly (updated on every insertion), so the
     // insert/skip decisions match the unpruned scan bit for bit.
     let mut bound = best.peek().expect("k > 0").dist2;
-    for id in filled..n {
+    let mut id = filled;
+    let lanes = isa.lanes();
+    if lanes > 1 {
+        let mut d2s = [0.0f64; simd::MAX_LANES];
+        while id + lanes <= n {
+            // The group predicate uses the bound at group entry; a lane the
+            // mask rejects has full d2 >= entry bound >= live bound, so the
+            // scalar scan would skip it too.
+            let mask = simd::knn_group_below(isa, data.rows(id, lanes), q, bound, &mut d2s);
+            if mask != 0 {
+                for (lane, &d2) in d2s.iter().enumerate().take(lanes) {
+                    // Re-validate against the live bound (it may have shrunk
+                    // on an earlier lane of this very group). `!(d2 >= b)` is
+                    // the exact `dist2_below` Some-condition, NaN included.
+                    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                    if mask & (1 << lane) != 0 && !(d2 >= bound) {
+                        best.pop();
+                        best.push(Candidate {
+                            dist2: d2,
+                            id: (id + lane) as u32,
+                        });
+                        bound = best.peek().expect("non-empty").dist2;
+                    }
+                }
+            }
+            id += lanes;
+        }
+    }
+    // Scalar path and the sub-group tail.
+    for id in id..n {
         if let Some(d2) = dist2_below(data.point(id), q, bound) {
             best.pop();
             best.push(Candidate {

@@ -15,6 +15,9 @@
 //! * [`LeafSoup`] — a flat SoA snapshot of a leaf-page set with blocked,
 //!   batch-oriented sphere-counting kernels (the hot loop of every
 //!   predictor), byte-identical to the scalar `HyperRect` path,
+//! * [`simd`] — runtime-dispatched SSE2/AVX2 lanes for the counting and
+//!   k-NN kernels (scalar fallback elsewhere), byte-identical to the
+//!   scalar path by construction,
 //! * per-dimension statistics ([`stats`]) used by the maximum-variance split,
 //! * a small deterministic RNG wrapper ([`rng`]) so that every experiment in
 //!   the repository is reproducible from a seed.
@@ -29,10 +32,12 @@ pub mod error;
 pub mod knn;
 pub mod rect;
 pub mod rng;
+pub mod simd;
 pub mod soup;
 pub mod stats;
 
 pub use dataset::Dataset;
 pub use error::{Error, Result};
 pub use rect::HyperRect;
+pub use simd::Isa;
 pub use soup::LeafSoup;

@@ -13,16 +13,28 @@
 //!
 //! ## Blocking factors
 //!
-//! * [`LEAF_BLOCK`] (64) — leaves are processed in blocks; each block keeps
-//!   its partial MINDIST² accumulators in a stack array while the kernel
-//!   sweeps the dimension stripes.
+//! * [`LEAF_BLOCK`] (64) — the scalar kernel processes leaves in blocks;
+//!   each block keeps its partial MINDIST² accumulators in a stack array
+//!   while the kernel sweeps the dimension stripes.
 //! * [`DIM_TILE`] (8) — dimensions are consumed in tiles; after each tile
 //!   the kernel early-exits the whole block once every accumulator already
 //!   exceeds `r²` (the decision is monotone, see below).
-//! * [`QUERY_BLOCK`] (16) — [`LeafSoup::count_batch`] tiles query-block ×
-//!   leaf-block: a leaf block (at most `64 · dim · 8` bytes of bounds) is
-//!   reused by every query of the block while it is hot in cache, and the
-//!   query blocks fan out over an `hdidx-pool` [`Pool`].
+//! * [`QUERY_BLOCK`] (16) — [`LeafSoup::count_batch`] fans query blocks
+//!   out over an `hdidx-pool` [`Pool`], extracting the per-query
+//!   `(center, r²)` pairs **once per block**. Within a block the SIMD
+//!   paths run leaf-group-major with queries inner (a group's stripe
+//!   bytes stay in L1 across the whole query block); the scalar path runs
+//!   each query's blocked sweep query-major — leaf-major ordering bought
+//!   it nothing once the early exit shrank a block's footprint, and at
+//!   thousands of leaves it made batch slower than single-query.
+//! * [`LANE_PAD`] (16) — every stripe is padded to a multiple of 16 lanes
+//!   with sentinel bounds (`lo = hi = +∞`), so the SIMD kernels
+//!   ([`crate::simd`]) never need a remainder loop: a full-width group
+//!   load is always in bounds, and a sentinel's accumulator is `+∞` after
+//!   its first dimension, which can only help the early exit. Sentinels
+//!   are excluded from counts by lane masking (never by value), so even a
+//!   non-finite `r²` cannot count one; [`LeafSoup::len`] always reports
+//!   the logical count.
 //!
 //! ## The bit-identity contract
 //!
@@ -33,17 +45,22 @@
 //! dimension contributes `+0.0`, which leaves a non-negative `f64`
 //! accumulator bit-identical). Early exit is sound because the terms are
 //! non-negative and `f64` addition of non-negative terms is monotone: once
-//! a partial sum exceeds `r²` the final sum does too. Counts are therefore
-//! **byte-identical** to counting `HyperRect::intersects_sphere` over the
-//! same rectangles — a contract pinned by `tests/soup_kernels.rs` and
-//! asserted by the `kernels`/`parallel` bench suites before any timing.
+//! a partial sum exceeds `r²` the final sum does too. The SIMD paths keep
+//! the same contract by vectorizing across the *leaf* axis only — lane
+//! `l` of a register owns leaf `i + l` and replays the identical chain
+//! (see [`crate::simd`]) — so counts from every ISA are **byte-identical**
+//! to counting `HyperRect::intersects_sphere` over the same rectangles. A
+//! contract pinned by `tests/soup_kernels.rs` and `tests/simd_dispatch.rs`
+//! and asserted by the `kernels`/`parallel` bench suites before any
+//! timing.
 
 use crate::error::{Error, Result};
 use crate::rect::HyperRect;
+use crate::simd::{self, Isa};
 use hdidx_pool::Pool;
 
-/// Leaves per processing block (partial sums live in a stack array of this
-/// size).
+/// Leaves per scalar processing block (partial sums live in a stack array
+/// of this size).
 pub const LEAF_BLOCK: usize = 64;
 
 /// Dimensions per tile between early-exit checks.
@@ -52,9 +69,15 @@ pub const DIM_TILE: usize = 8;
 /// Queries per batch block in [`LeafSoup::count_batch`].
 pub const QUERY_BLOCK: usize = 16;
 
+/// Stripe padding multiple: one AVX2 macro-group (4 × 4 `f64` lanes). Every
+/// stripe is `stride = len.next_multiple_of(LANE_PAD)` long, the tail
+/// filled with `+∞` sentinels, so no SIMD kernel needs a remainder loop.
+pub const LANE_PAD: usize = 16;
+
 /// A flat SoA snapshot of a leaf-page set: `dim` contiguous `lo` stripes
-/// and `dim` contiguous `hi` stripes of `len` `f32` bounds each
-/// (`lo[j * len + i]` is dimension `j` of leaf `i`).
+/// and `dim` contiguous `hi` stripes of `stride` `f32` bounds each
+/// (`lo[j * stride + i]` is dimension `j` of leaf `i`; lanes at
+/// `len <= i < stride` are `+∞` sentinels, see [`LANE_PAD`]).
 ///
 /// Build once from the grown `Vec<HyperRect>` page list, then count many
 /// spheres against it.
@@ -76,6 +99,7 @@ pub const QUERY_BLOCK: usize = 16;
 pub struct LeafSoup {
     dim: usize,
     len: usize,
+    stride: usize,
     lo: Vec<f32>,
     hi: Vec<f32>,
 }
@@ -93,8 +117,12 @@ impl LeafSoup {
             return Err(Error::invalid("dim", "dimensionality must be positive"));
         }
         let len = rects.len();
-        let mut lo = vec![0.0f32; dim * len];
-        let mut hi = vec![0.0f32; dim * len];
+        let stride = len.next_multiple_of(LANE_PAD);
+        // Sentinel fill: a padding lane reads as the impossible rect
+        // [+inf, +inf], whose accumulator saturates to +inf after one
+        // dimension — it can only help the early exit, never intersect.
+        let mut lo = vec![f32::INFINITY; dim * stride];
+        let mut hi = vec![f32::INFINITY; dim * stride];
         for (i, r) in rects.iter().enumerate() {
             if r.dim() != dim {
                 return Err(Error::DimensionMismatch {
@@ -103,11 +131,17 @@ impl LeafSoup {
                 });
             }
             for j in 0..dim {
-                lo[j * len + i] = r.lo()[j];
-                hi[j * len + i] = r.hi()[j];
+                lo[j * stride + i] = r.lo()[j];
+                hi[j * stride + i] = r.hi()[j];
             }
         }
-        Ok(LeafSoup { dim, len, lo, hi })
+        Ok(LeafSoup {
+            dim,
+            len,
+            stride,
+            lo,
+            hi,
+        })
     }
 
     /// Dimensionality of the stored rectangles.
@@ -116,7 +150,8 @@ impl LeafSoup {
         self.dim
     }
 
-    /// Number of stored rectangles.
+    /// Number of stored rectangles (the logical count — padding sentinels
+    /// are never reported or counted).
     #[inline]
     pub fn len(&self) -> usize {
         self.len
@@ -131,21 +166,30 @@ impl LeafSoup {
     /// Number of stored rectangles whose MINDIST² to `center` is at most
     /// `r2` — exactly the leaves the closed ball of squared radius `r2`
     /// intersects, byte-identical to filtering the original rectangles
-    /// with [`HyperRect::intersects_sphere`].
+    /// with [`HyperRect::intersects_sphere`]. Dispatches to the active
+    /// SIMD ISA ([`crate::simd::active`]).
     ///
     /// # Panics
     ///
     /// Debug-asserts that `center.len()` matches the soup dimensionality.
     pub fn count_intersecting(&self, center: &[f32], r2: f64) -> u64 {
+        self.count_intersecting_with(simd::active(), center, r2)
+    }
+
+    /// [`LeafSoup::count_intersecting`] pinned to one ISA — the entry
+    /// point identity tests and per-ISA bench rows use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `isa` is not supported by this CPU/build.
+    pub fn count_intersecting_with(&self, isa: Isa, center: &[f32], r2: f64) -> u64 {
         debug_assert_eq!(center.len(), self.dim);
-        let mut total = 0u64;
-        let mut start = 0usize;
-        while start < self.len {
-            let end = (start + LEAF_BLOCK).min(self.len);
-            total += self.count_block(start, end, center, r2);
-            start = end;
+        match isa {
+            Isa::Scalar => self.count_range_scalar(self.len, center, r2),
+            _ => {
+                simd::soup_count_prefix(isa, &self.lo, &self.hi, self.stride, self.len, center, r2)
+            }
         }
-        total
     }
 
     /// Like [`LeafSoup::count_intersecting`], but only the first `limit`
@@ -155,16 +199,27 @@ impl LeafSoup {
     /// fraction. With `limit >= len()` the count is byte-identical to the
     /// full scan (same blocked accumulation, same early exit).
     pub fn count_intersecting_prefix(&self, center: &[f32], r2: f64, limit: usize) -> u64 {
+        self.count_intersecting_prefix_with(simd::active(), center, r2, limit)
+    }
+
+    /// [`LeafSoup::count_intersecting_prefix`] pinned to one ISA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `isa` is not supported by this CPU/build.
+    pub fn count_intersecting_prefix_with(
+        &self,
+        isa: Isa,
+        center: &[f32],
+        r2: f64,
+        limit: usize,
+    ) -> u64 {
         debug_assert_eq!(center.len(), self.dim);
         let lim = limit.min(self.len);
-        let mut total = 0u64;
-        let mut start = 0usize;
-        while start < lim {
-            let end = (start + LEAF_BLOCK).min(lim);
-            total += self.count_block(start, end, center, r2);
-            start = end;
+        match isa {
+            Isa::Scalar => self.count_range_scalar(lim, center, r2),
+            _ => simd::soup_count_prefix(isa, &self.lo, &self.hi, self.stride, lim, center, r2),
         }
-        total
     }
 
     /// Batched counting: `out[i]` is the number of stored rectangles the
@@ -173,39 +228,98 @@ impl LeafSoup {
     /// [`HyperRect::intersects_sphere`]).
     ///
     /// Queries are processed in [`QUERY_BLOCK`]-sized blocks fanned out
-    /// over `pool`; within a block the loop is leaf-block-major so each
-    /// leaf block is reused by every query while hot in cache. Results are
-    /// in query order and identical for any thread count.
+    /// over `pool`, with the `(center, r²)` keys extracted once per block.
+    /// The SIMD paths run leaf-group-major with queries inner, so each
+    /// group's stripe bytes are reused by the whole block from L1; the
+    /// scalar path runs each query's blocked sweep. Results are in query
+    /// order and identical for any thread count.
     pub fn count_batch<Q, F>(&self, pool: &Pool, queries: &[Q], key: F) -> Vec<u64>
     where
         Q: Sync,
         F: Fn(&Q) -> (&[f32], f64) + Sync,
     {
+        self.count_batch_with(simd::active(), pool, queries, key)
+    }
+
+    /// [`LeafSoup::count_batch`] pinned to one ISA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `isa` is not supported by this CPU/build.
+    pub fn count_batch_with<Q, F>(&self, isa: Isa, pool: &Pool, queries: &[Q], key: F) -> Vec<u64>
+    where
+        Q: Sync,
+        F: Fn(&Q) -> (&[f32], f64) + Sync,
+    {
         pool.par_flat_chunks(queries, QUERY_BLOCK, |_, chunk| {
-            self.count_chunk(chunk, &key)
+            self.count_chunk_with(isa, chunk, &key)
         })
     }
 
-    /// Counts one query block: leaf blocks on the outer loop (cache
-    /// reuse), queries on the inner.
-    fn count_chunk<Q, F>(&self, chunk: &[Q], key: &F) -> Vec<u64>
+    /// Counts one query block: keys hoisted once, then leaf-major with
+    /// queries inner.
+    fn count_chunk_with<Q, F>(&self, isa: Isa, chunk: &[Q], key: &F) -> Vec<u64>
     where
         F: Fn(&Q) -> (&[f32], f64),
     {
-        let mut counts = vec![0u64; chunk.len()];
-        let mut start = 0usize;
-        while start < self.len {
-            let end = (start + LEAF_BLOCK).min(self.len);
-            for (out, q) in counts.iter_mut().zip(chunk) {
+        // Hoist the key extraction and the radius squaring out of the leaf
+        // loop: at thousands of leaf blocks, re-deriving them per
+        // (block, query) pair was the batch-vs-single regression.
+        let prepared: Vec<(&[f32], f64)> = chunk
+            .iter()
+            .map(|q| {
                 let (center, radius) = key(q);
-                *out += self.count_block(start, end, center, radius * radius);
+                (center, radius * radius)
+            })
+            .collect();
+        let mut counts = vec![0u64; chunk.len()];
+        match isa {
+            // Scalar: query-major, each query running the exact blocked
+            // single-query sweep. Leaf-major ordering bought the scalar
+            // path nothing (the early exit shrinks a block's footprint to
+            // roughly one DIM_TILE, so there is little to reuse) and
+            // measurably lost at thousands of leaves; query-major makes
+            // batch throughput equal single-query by construction.
+            Isa::Scalar => {
+                for (out, &(center, r2)) in counts.iter_mut().zip(&prepared) {
+                    *out = self.count_range_scalar(self.len, center, r2);
+                }
             }
-            start = end;
+            _ => simd::soup_count_chunk(
+                isa,
+                &self.lo,
+                &self.hi,
+                self.stride,
+                self.len,
+                &prepared,
+                &mut counts,
+            ),
         }
         counts
     }
 
-    /// The blocked kernel: MINDIST² accumulation for leaves
+    /// Scalar prefix scan: [`LEAF_BLOCK`]-sized blocks over leaves
+    /// `[0, valid)`. This is the committed reference path every SIMD ISA
+    /// must match bit for bit.
+    ///
+    /// `inline(never)`: the single-query and batched entry points both
+    /// land here, and letting LLVM inline (and re-optimize) a copy into
+    /// each caller produced measurably different code — the batched copy
+    /// ran ~10% slower, failing the bench's batch ≥ single pin. One
+    /// out-of-line body makes the two paths the same machine code.
+    #[inline(never)]
+    fn count_range_scalar(&self, valid: usize, center: &[f32], r2: f64) -> u64 {
+        let mut total = 0u64;
+        let mut start = 0usize;
+        while start < valid {
+            let end = (start + LEAF_BLOCK).min(valid);
+            total += self.count_block(start, end, center, r2);
+            start = end;
+        }
+        total
+    }
+
+    /// The blocked scalar kernel: MINDIST² accumulation for leaves
     /// `[start, end)` against one sphere, sweeping dimension stripes with
     /// an all-lanes early exit every [`DIM_TILE`] dimensions.
     #[inline]
@@ -219,8 +333,8 @@ impl LeafSoup {
             let tile_end = (j + DIM_TILE).min(self.dim);
             while j < tile_end {
                 let x = f64::from(center[j]);
-                let lo = &self.lo[j * self.len + start..j * self.len + end];
-                let hi = &self.hi[j * self.len + start..j * self.len + end];
+                let lo = &self.lo[j * self.stride + start..j * self.stride + end];
+                let hi = &self.hi[j * self.stride + start..j * self.stride + end];
                 for ((a, &l), &h) in acc[..width].iter_mut().zip(lo).zip(hi) {
                     // Same arithmetic as `HyperRect::mindist2`, branch-free:
                     // below → lo - x, above → x - hi, inside → +0.0 (a no-op
@@ -276,6 +390,25 @@ mod tests {
         let soup = LeafSoup::from_rects(2, &[r]).unwrap();
         assert_eq!((soup.dim(), soup.len()), (2, 1));
         assert!(!soup.is_empty());
+    }
+
+    #[test]
+    fn stripes_are_lane_padded_with_sentinels() {
+        // len() stays logical; the backing stripes are padded to LANE_PAD
+        // with +inf sentinels in both bounds of every dimension.
+        for n in [0usize, 1, 15, 16, 17, 33] {
+            let rects = random_rects(n, 3, 90 + n as u64);
+            let soup = LeafSoup::from_rects(3, &rects).unwrap();
+            assert_eq!(soup.len(), n);
+            assert_eq!(soup.stride, n.next_multiple_of(LANE_PAD));
+            assert_eq!(soup.lo.len(), 3 * soup.stride);
+            for j in 0..3 {
+                for i in n..soup.stride {
+                    assert_eq!(soup.lo[j * soup.stride + i], f32::INFINITY);
+                    assert_eq!(soup.hi[j * soup.stride + i], f32::INFINITY);
+                }
+            }
+        }
     }
 
     #[test]
@@ -353,6 +486,27 @@ mod tests {
                 soup.count_intersecting(&c, r * r),
                 "saturated prefix must be byte-identical to the full scan"
             );
+        }
+    }
+
+    #[test]
+    fn every_supported_isa_matches_naive() {
+        // The cross-ISA deep dive lives in tests/simd_dispatch.rs; this is
+        // the in-crate smoke version over one awkward shape.
+        let rects = random_rects(77, 5, 55);
+        let soup = LeafSoup::from_rects(5, &rects).unwrap();
+        let mut rng = seeded(56);
+        for _ in 0..6 {
+            let c: Vec<f32> = (0..5).map(|_| rng.gen::<f32>() * 6.0 - 3.0).collect();
+            let r = rng.gen::<f64>() * 2.0;
+            let expect = naive_count(&rects, &c, r);
+            for isa in simd::supported() {
+                assert_eq!(
+                    soup.count_intersecting_with(isa, &c, r * r),
+                    expect,
+                    "{isa}"
+                );
+            }
         }
     }
 

@@ -272,6 +272,10 @@ pub struct ServeReport {
     pub health: Option<HealthState>,
     /// Idle-slot maintenance accounting (`None` without maintenance).
     pub maintenance: Option<MaintenanceReport>,
+    /// Geometry-kernel ISA the run dispatched to
+    /// ([`hdidx_core::simd::active`]). Observability only: every ISA
+    /// produces byte-identical samples and digests.
+    pub isa: &'static str,
 }
 
 /// A query server over a built index.
@@ -942,6 +946,7 @@ impl<'a> Server<'a> {
             }),
             health: maint.as_deref().map(Maintenance::health),
             maintenance: maint.as_deref().map(Maintenance::report),
+            isa: hdidx_core::simd::active().name(),
         })
     }
 }
